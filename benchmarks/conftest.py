@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+The benches print paper-style tables; run with ``-s`` to see them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale factors are chosen so a full run stays in the minutes range on a
+laptop while keeping execution time (not compile time) dominant.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bench: paper-reproduction benchmark")

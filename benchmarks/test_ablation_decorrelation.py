@@ -1,0 +1,90 @@
+"""Ablation A4 — Section 2: decorrelation (query flattening) on/off.
+
+A gallery of subquery forms (scalar aggregate, EXISTS, NOT EXISTS, IN,
+correlated AVG) timed with normalization's correlation removal enabled
+(FULL) versus disabled (CORRELATED: Apply retained).
+
+Two physical regimes, matching the paper's Section 1.1 discussion:
+
+* **without FK indexes** — correlated execution degenerates to repeated
+  scans; flattening wins across the board (the classic decorrelation
+  argument);
+* **with FK indexes** — correlated execution becomes index-lookup joins
+  and "can actually be the best strategy"; the set-oriented plans stay
+  competitive, and still win where per-row work remains super-constant
+  (Q17's per-group aggregate).
+"""
+
+import pytest
+
+from repro import CORRELATED, FULL
+from repro.bench import format_table, time_query, tpch_database
+from repro.tpch import QUERIES
+
+SCALE_FACTOR = 0.005
+
+GALLERY = {
+    "scalar agg subquery (§1.1)": """
+        select c_custkey from customer
+        where 1000000 < (select sum(o_totalprice) from orders
+                         where o_custkey = c_custkey)""",
+    "exists (Q4 core)": """
+        select o_orderpriority, count(*) from orders
+        where exists (select * from lineitem
+                      where l_orderkey = o_orderkey
+                        and l_commitdate < l_receiptdate)
+        group by o_orderpriority""",
+    "not exists (Q22 core)": """
+        select count(*) from customer
+        where not exists (select * from orders
+                          where o_custkey = c_custkey)""",
+    "in subquery (Q18 core)": """
+        select count(*) from orders
+        where o_orderkey in (select l_orderkey from lineitem
+                             group by l_orderkey
+                             having sum(l_quantity) > 250)""",
+    "correlated avg (Q17)": QUERIES["Q17"],
+}
+
+
+def _gallery_table(db, title):
+    rows = []
+    speedups = []
+    for name, sql in GALLERY.items():
+        full_rows = sorted(map(repr, db.execute(sql, FULL).rows))
+        corr_rows = sorted(map(repr, db.execute(sql, CORRELATED).rows))
+        assert full_rows == corr_rows, name
+        _, exec_full, _ = time_query(db, sql, FULL, repeat=2)
+        _, exec_corr, _ = time_query(db, sql, CORRELATED, repeat=2)
+        speedup = exec_corr / max(exec_full, 1e-9)
+        speedups.append(speedup)
+        rows.append([name, f"{exec_full * 1000:.1f}",
+                     f"{exec_corr * 1000:.1f}", f"{speedup:.1f}x"])
+    print()
+    print(title)
+    print(format_table(
+        ["subquery form", "flattened (ms)", "correlated (ms)", "speedup"],
+        rows))
+    return speedups
+
+
+def test_ablation_decorrelation(benchmark):
+    bare = tpch_database(SCALE_FACTOR, with_indexes=False)
+    indexed = tpch_database(SCALE_FACTOR, with_indexes=True)
+
+    bare_speedups = _gallery_table(
+        bare, f"Ablation — decorrelation, no FK indexes (SF={SCALE_FACTOR})")
+    indexed_speedups = _gallery_table(
+        indexed, f"Ablation — decorrelation, FK indexes (SF={SCALE_FACTOR})")
+
+    # Without indexes, flattening wins essentially everywhere.
+    assert sum(1 for s in bare_speedups if s > 1.5) >= 4
+    # With indexes, correlated execution closes the gap on the simple
+    # forms (the paper's index-lookup point) but the aggregate-heavy Q17
+    # still favors the flattened/segmented plan decisively.
+    assert indexed_speedups[-1] > 3.0
+
+    plan = indexed.plan(GALLERY["correlated avg (Q17)"], FULL)
+    from repro.executor.physical import PhysicalExecutor
+    executor = PhysicalExecutor(indexed.storage)
+    benchmark(lambda: executor.run(plan))

@@ -1,0 +1,83 @@
+"""Decorrelation tour: the paper's Section 2 pipeline, stage by stage.
+
+Reproduces the derivation of Figures 2, 3 and 5 on the running example
+("customers who have ordered more than $1,000,000"):
+
+1. the algebrizer's mutually recursive tree (Figure 3);
+2. Apply introduction — mutual recursion removed (Figure 2);
+3. Apply removal via identity (9) then (2) — outerjoin + GroupBy;
+4. outerjoin simplification — the final join form (Figure 5).
+
+Run:  python examples/decorrelation_tour.py
+"""
+
+from repro import Database, DataType
+from repro.algebra import explain
+from repro.core.normalize import (ApplyRemovalConfig, remove_applies,
+                                  remove_subqueries, simplify,
+                                  simplify_outerjoins)
+from repro.sql import parse
+
+SQL = """
+    select c_custkey
+    from customer
+    where 1000000 < (select sum(o_totalprice) from orders
+                     where o_custkey = c_custkey)
+"""
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    db = Database()
+    db.create_table("customer",
+                    [("c_custkey", DataType.INTEGER, False),
+                     ("c_name", DataType.VARCHAR, False)],
+                    primary_key=("c_custkey",))
+    db.create_table("orders",
+                    [("o_orderkey", DataType.INTEGER, False),
+                     ("o_custkey", DataType.INTEGER, False),
+                     ("o_totalprice", DataType.FLOAT, False)],
+                    primary_key=("o_orderkey",))
+
+    bound = db._binder.bind(parse(SQL))
+
+    banner("Stage 1 — algebrizer output: scalar/relational mutual recursion "
+           "(paper Figure 3)")
+    print(explain(bound.rel))
+    print("\nThe [subquery] marker shows a relational tree embedded inside "
+          "the Select's scalar predicate.")
+
+    banner("Stage 2 — mutual recursion removed: Apply introduced "
+           "(paper Figure 2)")
+    applied = remove_subqueries(bound.rel)
+    applied = simplify(applied)
+    print(explain(applied))
+    print("\nApply[inner] evaluates the parameterized subexpression per "
+          "customer row; the correlation is now an algebraic operator.")
+
+    banner("Stage 3 — Apply removed: identity (9) then identity (2) "
+           "(paper Figure 5, lines 1-2)")
+    decorrelated = remove_applies(applied, ApplyRemovalConfig())
+    decorrelated = simplify(decorrelated)
+    print(explain(decorrelated))
+    print("\nThe scalar aggregate became a vector GroupBy over a left outer "
+          "join: Dayal's strategy, derived algebraically.")
+
+    banner("Stage 4 — outerjoin simplified under the null-rejecting HAVING "
+           "(paper Figure 5, line 3)")
+    final = simplify_outerjoins(decorrelated)
+    final = simplify(final)
+    print(explain(final))
+    print("\n'1000000 < X' rejects NULL on X = sum(o_totalprice); the "
+          "rejection derives through the GroupBy to o_totalprice, turning "
+          "the outer join into a join.")
+
+
+if __name__ == "__main__":
+    main()

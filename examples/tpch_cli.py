@@ -1,0 +1,87 @@
+"""A small TPC-H command line: generate data, run queries, inspect plans.
+
+Usage examples::
+
+    python examples/tpch_cli.py --scale 0.005 --query Q17
+    python examples/tpch_cli.py --scale 0.01 --query Q2 --mode correlated
+    python examples/tpch_cli.py --scale 0.002 --query Q4 --explain
+    python examples/tpch_cli.py --scale 0.002 --sql "select count(*) from orders"
+    python examples/tpch_cli.py --scale 0.002 --suite
+"""
+
+import argparse
+import sys
+import time
+
+from repro import MODES, Database
+from repro.tpch import QUERIES, create_tpch_schema, generate_tpch
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="TPC-H playground for the SIGMOD 2001 reproduction")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor (default 0.002)")
+    parser.add_argument("--seed", type=int, default=20010521)
+    parser.add_argument("--mode", choices=sorted(MODES), default="full",
+                        help="engine configuration")
+    parser.add_argument("--query", choices=sorted(QUERIES),
+                        help="run one of the bundled TPC-H queries")
+    parser.add_argument("--sql", help="run an ad-hoc SQL statement")
+    parser.add_argument("--explain", action="store_true",
+                        help="show the normalized tree and physical plan")
+    parser.add_argument("--suite", action="store_true",
+                        help="run the whole bundled query suite")
+    parser.add_argument("--no-indexes", action="store_true",
+                        help="create the schema without FK indexes")
+    return parser
+
+
+def run_one(db: Database, label: str, sql: str, args) -> None:
+    mode = MODES[args.mode]
+    if args.explain:
+        print(db.explain(sql, mode))
+        print()
+    start = time.perf_counter()
+    result = db.execute(sql, mode)
+    elapsed = time.perf_counter() - start
+    print(f"{label}: {len(result.rows)} rows in {elapsed * 1000:.1f} ms "
+          f"({mode.name})")
+    if result.rows:
+        print("  " + " | ".join(result.names))
+        for row in result.rows[:10]:
+            print("  " + " | ".join(str(v) for v in row))
+        if len(result.rows) > 10:
+            print(f"  ... {len(result.rows) - 10} more")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if not (args.query or args.sql or args.suite):
+        print("nothing to do: pass --query, --sql or --suite",
+              file=sys.stderr)
+        return 2
+
+    print(f"generating TPC-H data at SF={args.scale} ...")
+    db = Database()
+    create_tpch_schema(db, with_indexes=not args.no_indexes)
+    start = time.perf_counter()
+    counts = generate_tpch(db, args.scale, args.seed)
+    print(f"  {counts.lineitem} lineitems / {counts.orders} orders "
+          f"in {time.perf_counter() - start:.1f} s")
+    print()
+
+    if args.suite:
+        for name in sorted(QUERIES):
+            run_one(db, name, QUERIES[name], args)
+            print()
+        return 0
+    if args.query:
+        run_one(db, args.query, QUERIES[args.query], args)
+    if args.sql:
+        run_one(db, "ad-hoc", args.sql, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

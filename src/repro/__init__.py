@@ -1,0 +1,35 @@
+"""Reproduction of *Orthogonal Optimization of Subqueries and Aggregation*
+(Galindo-Legaria & Joshi, SIGMOD 2001).
+
+A complete SQL query processor in Python: parser, algebrizer, algebraic
+decorrelation via the Apply operator (identities (1)–(9)), comprehensive
+GroupBy optimization (reordering around joins and outerjoins, local/global
+aggregate splitting, segmented execution via SegmentApply), a Volcano-style
+cost-based optimizer and an iterator execution engine.
+
+Quickstart::
+
+    from repro import Database, DataType
+
+    db = Database()
+    db.create_table("t", [("a", DataType.INTEGER), ("b", DataType.INTEGER)],
+                    primary_key=("a",))
+    db.insert("t", [(1, 10), (2, 20)])
+    result = db.execute("select a from t where b > 15")
+    print(result.rows)
+"""
+
+from .algebra import DataType, Interval
+from .database import (CORRELATED, DECORRELATE_ONLY, FULL, MODES, NAIVE,
+                       Database, ExecutionMode, QueryResult)
+from .errors import (BindError, CatalogError, ExecutionError, PlanError,
+                     ReproError, SqlSyntaxError,
+                     SubqueryReturnedMultipleRows)
+
+__version__ = "1.0.0"
+
+__all__ = ["BindError", "CORRELATED", "CatalogError", "DECORRELATE_ONLY",
+           "DataType", "Database", "ExecutionError", "ExecutionMode",
+           "FULL", "Interval", "MODES", "NAIVE", "PlanError", "QueryResult",
+           "ReproError", "SqlSyntaxError", "SubqueryReturnedMultipleRows",
+           "__version__"]

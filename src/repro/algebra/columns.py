@@ -1,0 +1,128 @@
+"""Column identity model.
+
+Every table instance in a query — including each copy produced by a rewrite
+that duplicates a subtree — is represented by *fresh* :class:`Column` objects
+carrying globally unique integer ids.  Expressions reference columns by
+identity, never by name, which makes the rewrites of the paper (which move,
+copy and merge subtrees) alias-safe: a self-join of ``orders`` has two
+distinct column sets even though the names coincide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterable, Iterator
+
+from .datatypes import DataType
+
+_COUNTER = itertools.count(1)
+_COUNTER_LOCK = threading.Lock()
+
+
+def _next_column_id() -> int:
+    with _COUNTER_LOCK:
+        return next(_COUNTER)
+
+
+class Column:
+    """A uniquely identified column produced somewhere in an operator tree.
+
+    ``name`` is for display only; identity is the integer ``cid``.
+    """
+
+    __slots__ = ("cid", "name", "dtype", "nullable")
+
+    def __init__(self, name: str, dtype: DataType, nullable: bool = True,
+                 cid: int | None = None) -> None:
+        self.cid = _next_column_id() if cid is None else cid
+        self.name = name
+        self.dtype = dtype
+        self.nullable = nullable
+
+    def renamed(self, name: str) -> "Column":
+        """A *new* column (fresh id) with the same type but another name."""
+        return Column(name, self.dtype, self.nullable)
+
+    def fresh_copy(self) -> "Column":
+        """A new column with identical metadata but a fresh id."""
+        return Column(self.name, self.dtype, self.nullable)
+
+    def with_nullability(self, nullable: bool) -> "Column":
+        """The same column identity, viewed with different nullability.
+
+        Used by property derivation (e.g. the null side of an outerjoin);
+        the id is preserved because it is the *same* column.
+        """
+        clone = Column(self.name, self.dtype, nullable, cid=self.cid)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Column) and other.cid == self.cid
+
+    def __hash__(self) -> int:
+        return hash(self.cid)
+
+    def __repr__(self) -> str:
+        return f"{self.name}#{self.cid}"
+
+
+class ColumnSet:
+    """An immutable set of columns with set algebra, keyed by column id."""
+
+    __slots__ = ("_by_id",)
+
+    def __init__(self, columns: Iterable[Column] = ()) -> None:
+        self._by_id: dict[int, Column] = {c.cid: c for c in columns}
+
+    @classmethod
+    def of(cls, *columns: Column) -> "ColumnSet":
+        return cls(columns)
+
+    def __contains__(self, column: Column) -> bool:
+        return column.cid in self._by_id
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_id)
+
+    def ids(self) -> frozenset[int]:
+        return frozenset(self._by_id)
+
+    def union(self, other: Iterable[Column]) -> "ColumnSet":
+        result = ColumnSet()
+        result._by_id = dict(self._by_id)
+        for c in other:
+            result._by_id.setdefault(c.cid, c)
+        return result
+
+    def intersection(self, other: "ColumnSet | Iterable[Column]") -> "ColumnSet":
+        other_ids = other.ids() if isinstance(other, ColumnSet) else {c.cid for c in other}
+        return ColumnSet(c for c in self if c.cid in other_ids)
+
+    def difference(self, other: "ColumnSet | Iterable[Column]") -> "ColumnSet":
+        other_ids = other.ids() if isinstance(other, ColumnSet) else {c.cid for c in other}
+        return ColumnSet(c for c in self if c.cid not in other_ids)
+
+    def issubset(self, other: "ColumnSet | Iterable[Column]") -> bool:
+        other_ids = other.ids() if isinstance(other, ColumnSet) else {c.cid for c in other}
+        return all(cid in other_ids for cid in self._by_id)
+
+    def isdisjoint(self, other: "ColumnSet | Iterable[Column]") -> bool:
+        other_ids = other.ids() if isinstance(other, ColumnSet) else {c.cid for c in other}
+        return not any(cid in other_ids for cid in self._by_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnSet) and other.ids() == self.ids()
+
+    def __hash__(self) -> int:
+        return hash(self.ids())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in sorted(self, key=lambda c: c.cid))
+        return f"{{{inner}}}"

@@ -1,0 +1,80 @@
+"""Functional dependencies with Armstrong-style closure.
+
+Paper Section 3.1 states the filter/GroupBy reordering condition in terms of
+functional determination: *a filter moves around a GroupBy iff all columns it
+uses are functionally determined by the grouping columns*.  This module
+provides the small FD engine that check rests on.
+
+FDs are stored as ``determinant set → dependent set`` over column ids, plus
+"constant" columns (determined by the empty set, e.g. bound by ``col = 42``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class FDSet:
+    """A mutable set of functional dependencies over column ids."""
+
+    def __init__(self) -> None:
+        self._fds: list[tuple[frozenset[int], frozenset[int]]] = []
+
+    def copy(self) -> "FDSet":
+        result = FDSet()
+        result._fds = list(self._fds)
+        return result
+
+    def add(self, determinant: Iterable[int], dependent: Iterable[int]) -> None:
+        lhs = frozenset(determinant)
+        rhs = frozenset(dependent) - lhs
+        if rhs:
+            self._fds.append((lhs, rhs))
+
+    def add_constant(self, column: int) -> None:
+        """Record that ``column`` has a single value (e.g. ``col = 5``)."""
+        self.add((), (column,))
+
+    def add_equivalence(self, a: int, b: int) -> None:
+        """Record ``a = b`` (each determines the other)."""
+        self.add((a,), (b,))
+        self.add((b,), (a,))
+
+    def add_all(self, other: "FDSet") -> None:
+        self._fds.extend(other._fds)
+
+    def closure(self, attributes: Iterable[int]) -> frozenset[int]:
+        """Attribute-set closure under the stored FDs (fixpoint)."""
+        closed = set(attributes)
+        changed = True
+        while changed:
+            changed = False
+            for lhs, rhs in self._fds:
+                if lhs <= closed and not rhs <= closed:
+                    closed |= rhs
+                    changed = True
+        return frozenset(closed)
+
+    def determines(self, determinant: Iterable[int],
+                   dependent: Iterable[int]) -> bool:
+        """Whether ``determinant → dependent`` follows from the stored FDs."""
+        return frozenset(dependent) <= self.closure(determinant)
+
+    def project(self, columns: Iterable[int]) -> "FDSet":
+        """FDs restricted to a column subset (kept sound, not complete:
+        stored FDs fully inside the subset survive)."""
+        keep = frozenset(columns)
+        result = FDSet()
+        for lhs, rhs in self._fds:
+            if lhs <= keep:
+                trimmed = rhs & keep
+                if trimmed:
+                    result._fds.append((lhs, trimmed))
+        return result
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __repr__(self) -> str:
+        parts = [f"{set(l) or '{}'}→{set(r)}" for l, r in self._fds]
+        return "FDSet(" + "; ".join(parts) + ")"

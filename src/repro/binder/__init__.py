@@ -1,0 +1,6 @@
+"""Binder/algebrizer substrate: SQL AST → mutually recursive operator tree."""
+
+from .binder import Binder, BoundQuery, make_get
+from .scope import Resolution, Scope
+
+__all__ = ["Binder", "BoundQuery", "Resolution", "Scope", "make_get"]

@@ -1,0 +1,87 @@
+"""Name-resolution scopes.
+
+A scope holds the relations visible at one query level; its parent chain
+implements correlation — an identifier that fails to resolve locally is
+looked up in enclosing scopes, and resolving at depth > 0 makes the
+expression correlated (paper Section 1.1: "parameters resolved from a table
+outside of the subquery").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algebra.columns import Column
+from ..errors import BindError
+
+
+@dataclass(frozen=True)
+class Resolution:
+    column: Column
+    depth: int  # 0 = current scope; >0 = outer (correlated)
+
+
+class Scope:
+    """One level of visible FROM bindings."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self._relations: list[tuple[str, dict[str, Column]]] = []
+
+    def add_relation(self, alias: str, columns: dict[str, Column]) -> None:
+        alias = alias.lower()
+        if any(existing == alias for existing, _ in self._relations):
+            raise BindError(f"duplicate table alias {alias!r}")
+        self._relations.append((alias, dict(columns)))
+
+    @property
+    def relations(self) -> list[tuple[str, dict[str, Column]]]:
+        return list(self._relations)
+
+    def resolve(self, parts: tuple[str, ...]) -> Resolution:
+        """Resolve ``col`` or ``alias.col`` walking out through parents."""
+        depth = 0
+        scope: Optional[Scope] = self
+        while scope is not None:
+            column = scope._resolve_local(parts)
+            if column is not None:
+                return Resolution(column, depth)
+            scope = scope.parent
+            depth += 1
+        raise BindError(f"unknown column {'.'.join(parts)!r}")
+
+    def _resolve_local(self, parts: tuple[str, ...]) -> Optional[Column]:
+        if len(parts) == 2:
+            alias, name = parts
+            for existing, columns in self._relations:
+                if existing == alias.lower():
+                    if name.lower() in columns:
+                        return columns[name.lower()]
+                    raise BindError(
+                        f"no column {name!r} in relation {alias!r}")
+            return None
+        (name,) = parts
+        matches = [(alias, columns[name.lower()])
+                   for alias, columns in self._relations
+                   if name.lower() in columns]
+        if len(matches) > 1:
+            aliases = ", ".join(alias for alias, _ in matches)
+            raise BindError(f"ambiguous column {name!r} (in {aliases})")
+        if matches:
+            return matches[0][1]
+        return None
+
+    def all_columns(self) -> list[tuple[str, str, Column]]:
+        """(alias, column name, column) triples in declaration order."""
+        result = []
+        for alias, columns in self._relations:
+            for name, column in columns.items():
+                result.append((alias, name, column))
+        return result
+
+    def relation_columns(self, alias: str) -> dict[str, Column]:
+        for existing, columns in self._relations:
+            if existing == alias.lower():
+                return dict(columns)
+        raise BindError(f"unknown relation alias {alias!r}")

@@ -1,0 +1,9 @@
+"""Catalog substrate: table definitions, indexes and statistics."""
+
+from .catalog import Catalog, ColumnDef, IndexDef, TableDef
+from .statistics import (ColumnStats, Histogram, TableStats,
+                         build_histogram, compute_table_stats)
+
+__all__ = ["Catalog", "ColumnDef", "ColumnStats", "Histogram", "IndexDef",
+           "TableDef", "TableStats", "build_histogram",
+           "compute_table_stats"]

@@ -1,0 +1,184 @@
+"""Catalog: table, column, key and index definitions.
+
+The catalog is the optimizer's source of schema facts: declared keys feed
+the key-derivation used by identities (7)–(9) and Max1row elision, and the
+statistics (see :mod:`repro.catalog.statistics`) feed cardinality estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..algebra.datatypes import DataType
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A stored column: name, type, nullability."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """A secondary index over one or more columns of a table.
+
+    ``kind`` is ``"hash"`` (equality lookups) or ``"ordered"`` (equality and
+    range scans).
+    """
+
+    name: str
+    table_name: str
+    column_names: tuple[str, ...]
+    kind: str = "hash"
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("hash", "ordered"):
+            raise CatalogError(f"unknown index kind {self.kind!r}")
+        if not self.column_names:
+            raise CatalogError("index requires at least one column")
+
+
+class TableDef:
+    """Schema of one stored table."""
+
+    def __init__(self, name: str, columns: Iterable[ColumnDef],
+                 primary_key: Iterable[str] = (),
+                 unique_keys: Iterable[Iterable[str]] = ()) -> None:
+        self.name = name
+        self.columns = list(columns)
+        if not self.columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {name!r}")
+        self._by_name = {c.name: i for i, c in enumerate(self.columns)}
+        self.primary_key = tuple(primary_key)
+        self.unique_keys = [tuple(k) for k in unique_keys]
+        for key in self.all_keys():
+            for col in key:
+                if col not in self._by_name:
+                    raise CatalogError(
+                        f"key column {col!r} not in table {name!r}")
+
+    def all_keys(self) -> list[tuple[str, ...]]:
+        keys = []
+        if self.primary_key:
+            keys.append(self.primary_key)
+        keys.extend(self.unique_keys)
+        return keys
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}") from None
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __repr__(self) -> str:
+        return f"TableDef({self.name}, {len(self.columns)} columns)"
+
+
+class Catalog:
+    """The collection of table, view and index definitions."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableDef] = {}
+        self._indexes: dict[str, IndexDef] = {}
+        self._views: dict[str, str] = {}  # name -> defining SQL text
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(self, table: TableDef) -> TableDef:
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        if key in self._views:
+            raise CatalogError(f"{table.name!r} already names a view")
+        self._tables[key] = table
+        return table
+
+    def get_table(self, name: str) -> TableDef:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        for index_name in [n for n, ix in self._indexes.items()
+                           if ix.table_name.lower() == key]:
+            del self._indexes[index_name]
+
+    def tables(self) -> Iterator[TableDef]:
+        return iter(self._tables.values())
+
+    # -- views ------------------------------------------------------------------
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Register a view: a named query expanded at bind time."""
+        key = name.lower()
+        if key in self._views:
+            raise CatalogError(f"view {name!r} already exists")
+        if key in self._tables:
+            raise CatalogError(f"{name!r} already names a table")
+        self._views[key] = sql
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def view_definition(self, name: str) -> str:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}") from None
+
+    def drop_view(self, name: str) -> None:
+        if name.lower() not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[name.lower()]
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_index(self, index: IndexDef) -> IndexDef:
+        key = index.name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        table = self.get_table(index.table_name)
+        for col in index.column_names:
+            if not table.has_column(col):
+                raise CatalogError(
+                    f"index column {col!r} not in table {table.name!r}")
+        self._indexes[key] = index
+        return index
+
+    def indexes_on(self, table_name: str) -> list[IndexDef]:
+        return [ix for ix in self._indexes.values()
+                if ix.table_name.lower() == table_name.lower()]
+
+    def get_index(self, name: str) -> IndexDef:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown index {name!r}") from None

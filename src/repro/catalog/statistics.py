@@ -1,0 +1,199 @@
+"""Table and column statistics for cardinality estimation.
+
+The cost-based optimizer (paper Section 4: "the plan with cheapest estimated
+cost is selected") needs row counts, distinct-value counts and value ranges.
+Statistics are computed from stored data on demand and cached by the
+database facade.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-depth histogram over a column's non-NULL values.
+
+    ``boundaries`` holds ``bucket_count + 1`` sorted values; bucket *i*
+    covers ``[boundaries[i], boundaries[i+1])`` (the last bucket is
+    closed).  Buckets hold (approximately) equal row counts, so the
+    fraction of rows below a probe value can be read off directly —
+    robust to skew where the uniform min/max interpolation is not.
+    """
+
+    boundaries: tuple
+    rows_per_bucket: float
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.boundaries) - 1
+
+    @property
+    def total_rows(self) -> float:
+        return self.rows_per_bucket * self.bucket_count
+
+    def fraction_below(self, value: Any, inclusive: bool = False) -> float:
+        """Estimated fraction of (non-NULL) rows ``< value`` (or ``<=``)."""
+        if self.bucket_count <= 0:
+            return 0.5
+        if inclusive:
+            position = bisect.bisect_right(self.boundaries, value)
+        else:
+            position = bisect.bisect_left(self.boundaries, value)
+        if position <= 0:
+            return 0.0
+        if position >= len(self.boundaries):
+            return 1.0
+        # Interpolate inside the bucket the value falls in.
+        low = self.boundaries[position - 1]
+        high = self.boundaries[position]
+        complete = (position - 1) / self.bucket_count
+        try:
+            if high == low:
+                within = 0.5
+            else:
+                within = (_numeric(value) - _numeric(low)) / \
+                    (_numeric(high) - _numeric(low))
+        except TypeError:
+            within = 0.5
+        within = min(max(within, 0.0), 1.0)
+        return complete + within / self.bucket_count
+
+
+def build_histogram(values: Sequence[Any],
+                    bucket_count: int = 16) -> Optional[Histogram]:
+    """An equi-depth histogram, or None for empty/incomparable input."""
+    comparable = []
+    for value in values:
+        if value is None:
+            continue
+        try:
+            _numeric(value)
+        except TypeError:
+            return None
+        comparable.append(value)
+    if not comparable:
+        return None
+    ordered = sorted(comparable)
+    buckets = min(bucket_count, len(ordered))
+    boundaries = [ordered[0]]
+    for i in range(1, buckets):
+        boundaries.append(ordered[(i * len(ordered)) // buckets])
+    boundaries.append(ordered[-1])
+    return Histogram(tuple(boundaries), len(ordered) / buckets)
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one stored column."""
+
+    distinct_count: int
+    null_count: int
+    min_value: Any = None
+    max_value: Any = None
+    histogram: Optional[Histogram] = None
+
+    def selectivity_equals(self, row_count: int) -> float:
+        """Estimated fraction of rows matching ``col = constant``."""
+        if self.distinct_count <= 0:
+            return 0.0
+        non_null = max(row_count - self.null_count, 0)
+        if row_count == 0:
+            return 0.0
+        return (non_null / row_count) / self.distinct_count
+
+    def selectivity_range(self, op: str, value: Any, row_count: int) -> float:
+        """Estimated fraction of rows matching ``col <op> value``.
+
+        Uses the equi-depth histogram when present (skew-robust) and
+        falls back to uniform interpolation between min and max.
+        """
+        if row_count == 0 or self.min_value is None or self.max_value is None:
+            return _DEFAULT_RANGE_SELECTIVITY
+        non_null_fraction = max(row_count - self.null_count, 0) / row_count
+
+        if self.histogram is not None:
+            if op == "<":
+                below = self.histogram.fraction_below(value)
+            elif op == "<=":
+                below = self.histogram.fraction_below(value, inclusive=True)
+            elif op == ">":
+                below = 1.0 - self.histogram.fraction_below(
+                    value, inclusive=True)
+            elif op == ">=":
+                below = 1.0 - self.histogram.fraction_below(value)
+            else:
+                return _DEFAULT_RANGE_SELECTIVITY
+            return below * non_null_fraction
+
+        try:
+            span = _numeric(self.max_value) - _numeric(self.min_value)
+        except TypeError:
+            return _DEFAULT_RANGE_SELECTIVITY
+        if span <= 0:
+            return _DEFAULT_RANGE_SELECTIVITY
+        try:
+            position = (_numeric(value) - _numeric(self.min_value)) / span
+        except TypeError:
+            return _DEFAULT_RANGE_SELECTIVITY
+        position = min(max(position, 0.0), 1.0)
+        if op in ("<", "<="):
+            return position * non_null_fraction
+        if op in (">", ">="):
+            return (1.0 - position) * non_null_fraction
+        return _DEFAULT_RANGE_SELECTIVITY
+
+
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+def _numeric(value: Any) -> float:
+    """Map a value to a number for range interpolation."""
+    import datetime
+
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    raise TypeError(f"not numeric: {value!r}")
+
+
+class TableStats:
+    """Row count plus per-column statistics for one table."""
+
+    def __init__(self, row_count: int,
+                 columns: dict[str, ColumnStats] | None = None) -> None:
+        self.row_count = row_count
+        self.columns = columns or {}
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def __repr__(self) -> str:
+        return f"TableStats(rows={self.row_count}, {len(self.columns)} columns)"
+
+
+def compute_table_stats(column_names: Sequence[str],
+                        rows: Sequence[tuple],
+                        histogram_buckets: int = 16) -> TableStats:
+    """Compute full statistics by scanning all rows."""
+    row_count = len(rows)
+    columns: dict[str, ColumnStats] = {}
+    for position, name in enumerate(column_names):
+        values = [row[position] for row in rows]
+        non_null = [v for v in values if v is not None]
+        distinct = len(set(non_null))
+        min_value = min(non_null) if non_null else None
+        max_value = max(non_null) if non_null else None
+        columns[name] = ColumnStats(
+            distinct_count=distinct,
+            null_count=row_count - len(non_null),
+            min_value=min_value,
+            max_value=max_value,
+            histogram=build_histogram(non_null, histogram_buckets))
+    return TableStats(row_count, columns)

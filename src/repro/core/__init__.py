@@ -1,0 +1,2 @@
+"""The paper's primary contribution: normalization (decorrelation) and
+cost-based optimization of subqueries and aggregation."""

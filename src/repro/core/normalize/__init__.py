@@ -1,0 +1,14 @@
+"""Normalization: subquery flattening (decorrelation) per paper Section 2."""
+
+from .apply_removal import ApplyRemovalConfig, is_not_true, remove_applies
+from .classify import (SubqueryClass, SubqueryReport,
+                       classify_residual_applies, classify_query)
+from .mutual_recursion import remove_subqueries
+from .normalizer import NormalizeConfig, normalize
+from .oj_simplify import simplify_outerjoins
+from .simplify import simplify
+
+__all__ = ["ApplyRemovalConfig", "NormalizeConfig", "SubqueryClass",
+           "SubqueryReport", "classify_query", "classify_residual_applies",
+           "is_not_true", "normalize", "remove_applies",
+           "remove_subqueries", "simplify", "simplify_outerjoins"]

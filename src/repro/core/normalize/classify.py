@@ -1,0 +1,110 @@
+"""Subquery classification — paper Section 2.5.
+
+The paper delineates three broad classes of subquery usage:
+
+* **Class 1** — removable with no additional common subexpressions (the
+  simple select/project/join/aggregate block; fully flattened during
+  normalization);
+* **Class 2** — removable only by introducing common subexpressions
+  (identities (5)/(6)/(7): set operations or doubly-correlated joins under
+  Apply; kept as Apply by default);
+* **Class 3** — exception subqueries requiring scalar-specific run-time
+  behaviour (``Max1row`` errors, conditional CASE-branch execution); kept
+  as Apply.
+
+``classify_query`` reports, for each subquery of a SQL statement, its
+class and the reason — by running normalization and inspecting what
+remains.  Used for diagnostics and to pin the paper's taxonomy in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ...algebra import (Apply, Difference, Max1row, RelationalOp, Top,
+                        UnionAll, collect_nodes)
+from .normalizer import NormalizeConfig, normalize
+
+
+class SubqueryClass(enum.Enum):
+    CLASS1 = "class 1 (flattened)"
+    CLASS2 = "class 2 (common subexpressions required)"
+    CLASS3 = "class 3 (exception subquery)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SubqueryReport:
+    """Classification of one residual (or eliminated) subquery."""
+
+    subquery_class: SubqueryClass
+    reason: str
+
+
+def classify_residual_applies(normalized: RelationalOp
+                              ) -> list[SubqueryReport]:
+    """Classify the Apply operators remaining after normalization.
+
+    An empty result means every subquery was Class 1 — the normal form is
+    correlation-free.
+    """
+    reports: list[SubqueryReport] = []
+    for apply_op in collect_nodes(normalized,
+                                  lambda n: isinstance(n, Apply)):
+        assert isinstance(apply_op, Apply)
+        if not apply_op.is_correlated():
+            continue  # an uncorrelated Apply is just a join in waiting
+        reports.append(_classify_apply(apply_op))
+    return reports
+
+
+def _classify_apply(apply_op: Apply) -> SubqueryReport:
+    if apply_op.guard is not None:
+        return SubqueryReport(
+            SubqueryClass.CLASS3,
+            "conditional scalar execution: the subquery sits in a CASE "
+            "branch and must not be evaluated eagerly")
+    blockers = collect_nodes(
+        apply_op.right,
+        lambda n: isinstance(n, (Max1row, Top, UnionAll, Difference)))
+    for blocker in blockers:
+        if isinstance(blocker, Max1row):
+            return SubqueryReport(
+                SubqueryClass.CLASS3,
+                "Max1row: the subquery may return several rows and must "
+                "raise a run-time error when it does")
+        if isinstance(blocker, Top):
+            return SubqueryReport(
+                SubqueryClass.CLASS3,
+                "parameterized Top: per-row row limits have no "
+                "relational formulation")
+        if isinstance(blocker, UnionAll):
+            return SubqueryReport(
+                SubqueryClass.CLASS2,
+                "UNION ALL under Apply: identity (5) would duplicate the "
+                "outer relation")
+        if isinstance(blocker, Difference):
+            return SubqueryReport(
+                SubqueryClass.CLASS2,
+                "EXCEPT ALL under Apply: identity (6) would duplicate the "
+                "outer relation")
+    return SubqueryReport(
+        SubqueryClass.CLASS2,
+        "removal requires introducing common subexpressions "
+        "(doubly-correlated join or missing key)")
+
+
+def classify_query(db, sql: str) -> list[SubqueryReport]:
+    """Classify the subqueries of a SQL statement against a database.
+
+    Returns one report per *residual* correlated Apply; subqueries that
+    flattened away (Class 1) produce no report.
+    """
+    from ...sql import parse
+
+    bound = db._binder.bind(parse(sql))
+    normalized = normalize(bound.rel, NormalizeConfig())
+    return classify_residual_applies(normalized)

@@ -1,0 +1,59 @@
+"""Query normalization pipeline — paper Sections 2 and 4.
+
+``normalize`` takes the binder's mutually recursive tree to the paper's
+normal form:
+
+1. **remove mutual recursion** — subqueries become Apply operators
+   (Section 2.2);
+2. **remove correlations** — Apply is pushed down and eliminated via
+   identities (1)–(9) (Section 2.3); Class 2/3 residues stay as Apply;
+3. **simplify** — outerjoin → join under derived null-rejection, Max1row
+   elision, select/project cleanups.
+
+"At the end of normalization, most common forms of subqueries have been
+turned into some join variant" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...algebra import RelationalOp
+from .apply_removal import ApplyRemovalConfig, remove_applies
+from .mutual_recursion import remove_subqueries
+from .oj_simplify import simplify_outerjoins
+from .simplify import simplify
+
+
+@dataclass
+class NormalizeConfig:
+    """Feature switches, used by the benchmarks' ablation configurations."""
+
+    decorrelate: bool = True
+    class2_rewrites: bool = False
+    simplify_outerjoins: bool = True
+
+
+def normalize(rel: RelationalOp,
+              config: NormalizeConfig | None = None) -> RelationalOp:
+    """Run the full normalization pipeline."""
+    config = config or NormalizeConfig()
+    rel = remove_subqueries(rel)
+    rel = simplify(rel)
+    # Apply removal and outerjoin simplification feed each other: an
+    # Apply[LOJ] stuck at a UnionAll becomes removable once a null-rejecting
+    # predicate turns it into Apply[inner].  Iterate to fixpoint.
+    from ...algebra import explain
+    for _ in range(4):
+        before = explain(rel)
+        if config.decorrelate:
+            rel = remove_applies(
+                rel,
+                ApplyRemovalConfig(class2_rewrites=config.class2_rewrites))
+            rel = simplify(rel)
+        if config.simplify_outerjoins:
+            rel = simplify_outerjoins(rel)
+            rel = simplify(rel)
+        if explain(rel) == before:
+            break
+    return rel

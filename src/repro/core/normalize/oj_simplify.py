@@ -1,0 +1,188 @@
+"""Outerjoin simplification — paper Section 1.2 "Simplify outerjoin".
+
+A left outer join becomes an inner join when a predicate above rejects NULL
+on columns of its NULL-padded (right) side [Galindo-Legaria & Rosenthal,
+TODS 1997].  The paper's addition — implemented here — is *derivation of
+null-rejection in GroupBy operators*: a HAVING predicate rejecting NULL on
+an aggregate result ``X = agg(arg)`` where ``agg`` yields NULL on empty
+input implies rejection on ``arg``'s strict columns below the GroupBy,
+letting ``σ_{1000000<X} G_{...,X=sum(p)} (C LOJ O)`` simplify to an inner
+join.
+
+Soundness machinery: rejection derived through a GroupBy is tagged with
+*guards* — one column set per aggregate of that GroupBy.  Converting an
+outerjoin below is only allowed when every guard intersects the padded
+side, i.e. every aggregate ignores NULL-padded rows (this is what makes a
+``count(*)`` alongside the filtered aggregate block the rewrite: padded
+rows do count there).
+"""
+
+from __future__ import annotations
+
+from ...algebra import (Apply, ColumnRef, Difference, GroupBy, Join,
+                        JoinKind, LocalGroupBy, Max1row, Project,
+                        RelationalOp, ScalarGroupBy, Select, SegmentApply,
+                        Sort, Top, UnionAll, null_rejected_columns,
+                        strict_columns)
+
+_Guards = tuple[frozenset[int], ...]
+_EMPTY: frozenset[int] = frozenset()
+
+
+def simplify_outerjoins(rel: RelationalOp) -> RelationalOp:
+    """Convert LOJ joins/applies to inner where null-rejection allows."""
+    return _walk(rel, _EMPTY, ())
+
+
+def _walk(rel: RelationalOp, rejected: frozenset[int],
+          guards: _Guards) -> RelationalOp:
+    if isinstance(rel, Select):
+        child_rejected = rejected | null_rejected_columns(rel.predicate)
+        return Select(_walk(rel.child, child_rejected, guards), rel.predicate)
+
+    if isinstance(rel, Project):
+        mapped = set()
+        for column, expr in rel.items:
+            if column.cid in rejected:
+                if isinstance(expr, ColumnRef):
+                    mapped.add(expr.column.cid)
+                else:
+                    mapped |= strict_columns(expr)
+        new_guards = tuple(_remap_through_project(g, rel) for g in guards)
+        return Project(_walk(rel.child, frozenset(mapped), new_guards),
+                       rel.items)
+
+    if isinstance(rel, (GroupBy, LocalGroupBy)):
+        return _walk_groupby(rel, rejected, guards)
+
+    if isinstance(rel, ScalarGroupBy):
+        # Scalar aggregation always emits a row; rejection does not
+        # propagate (an empty child still produces output).
+        return ScalarGroupBy(_walk(rel.child, _EMPTY, ()), rel.aggregates)
+
+    if isinstance(rel, (Join, Apply)):
+        return _walk_join(rel, rejected, guards)
+
+    if isinstance(rel, Sort):
+        return Sort(_walk(rel.child, rejected, guards), rel.keys)
+
+    if isinstance(rel, (Top, Max1row)):
+        # Dropping rows earlier would change which rows pass Top, and
+        # Max1row's error semantics; stop propagation.
+        (child,) = rel.children
+        return rel.with_children([_walk(child, _EMPTY, ())])
+
+    if isinstance(rel, UnionAll):
+        new_inputs = []
+        for source, imap in zip(rel.inputs, rel.input_maps):
+            translated = frozenset(
+                src.cid for out, src in zip(rel.columns, imap)
+                if out.cid in rejected)
+            new_inputs.append(_walk(source, translated, ()))
+        return UnionAll(new_inputs, rel.columns, rel.input_maps)
+
+    if isinstance(rel, Difference):
+        translated = frozenset(
+            src.cid for out, src in zip(rel.columns, rel.left_map)
+            if out.cid in rejected)
+        left = _walk(rel.left, translated, ())
+        right = _walk(rel.right, _EMPTY, ())  # shrinking right grows output
+        return Difference(left, right, rel.columns, rel.left_map,
+                          rel.right_map)
+
+    if isinstance(rel, SegmentApply):
+        left = _walk(rel.left, _EMPTY, ())
+        right = _walk(rel.right, _EMPTY, ())
+        return SegmentApply(left, right, rel.segment_columns,
+                            rel.inner_columns)
+
+    children = [_walk(c, _EMPTY, ()) for c in rel.children]
+    if any(n is not o for n, o in zip(children, rel.children)):
+        return rel.with_children(children)
+    return rel
+
+
+def _remap_through_project(guard: frozenset[int],
+                           project: Project) -> frozenset[int]:
+    remapped = set(guard)
+    for column, expr in project.items:
+        if column.cid in remapped and not (
+                isinstance(expr, ColumnRef) and expr.column == column):
+            remapped.discard(column.cid)
+            if isinstance(expr, ColumnRef):
+                remapped.add(expr.column.cid)
+            else:
+                remapped |= strict_columns(expr)
+    return frozenset(remapped)
+
+
+def _walk_groupby(rel: GroupBy | LocalGroupBy, rejected: frozenset[int],
+                  guards: _Guards) -> RelationalOp:
+    child_rejected: set[int] = set()
+    for group_column in rel.group_columns:
+        if group_column.cid in rejected:
+            child_rejected.add(group_column.cid)
+    derived = False
+    for column, call in rel.aggregates:
+        if column.cid not in rejected:
+            continue
+        if call.descriptor.value_on_empty is not None:
+            continue  # count: 0 on empty, never NULL-rejecting downward
+        if call.argument is None:
+            continue
+        strict = strict_columns(call.argument)
+        if strict:
+            child_rejected |= strict
+            derived = True
+
+    if not child_rejected:
+        return rel.with_children([_walk(rel.child, _EMPTY, ())])
+
+    # Any rejection flowing through a GroupBy must be guarded by every
+    # aggregate of this GroupBy ignoring NULL-padded rows.
+    new_guards = list(guards)
+    for column, call in rel.aggregates:
+        if call.argument is None:  # count(*): counts padded rows — guard ∅
+            new_guards.append(frozenset())
+        else:
+            new_guards.append(strict_columns(call.argument))
+    child = _walk(rel.child, frozenset(child_rejected), tuple(new_guards))
+    return rel.with_children([child])
+
+
+def _walk_join(rel: Join | Apply, rejected: frozenset[int],
+               guards: _Guards) -> RelationalOp:
+    kind = rel.kind
+    left, right = rel.children
+    left_ids = frozenset(c.cid for c in left.output_columns())
+    right_ids = frozenset(c.cid for c in right.output_columns())
+    predicate = rel.predicate
+    predicate_rejects = (null_rejected_columns(predicate)
+                         if predicate is not None else _EMPTY)
+
+    guarded = isinstance(rel, Apply) and rel.guard is not None
+    if kind is JoinKind.LEFT_OUTER and not guarded:
+        if (rejected & right_ids) and all(g & right_ids for g in guards):
+            kind = JoinKind.INNER  # the simplification
+
+    if kind is JoinKind.INNER:
+        combined = rejected | predicate_rejects
+        new_left = _walk(left, combined & left_ids, guards)
+        new_right = _walk(right, combined & right_ids, guards)
+    elif kind is JoinKind.LEFT_OUTER:
+        new_left = _walk(left, rejected & left_ids, guards)
+        right_rejected = predicate_rejects & right_ids
+        if not guards:
+            right_rejected |= rejected & right_ids
+        new_right = _walk(right, right_rejected, guards)
+    elif kind is JoinKind.LEFT_SEMI:
+        new_left = _walk(left, (rejected | predicate_rejects) & left_ids,
+                         guards)
+        new_right = _walk(right, predicate_rejects & right_ids, guards)
+    else:  # LEFT_ANTI: a never-matching left row is *kept*
+        new_left = _walk(left, rejected & left_ids, guards)
+        new_right = _walk(right, predicate_rejects & right_ids, guards)
+
+    if isinstance(rel, Apply):
+        return Apply(kind, new_left, new_right, predicate, rel.guard)
+    return Join(kind, new_left, new_right, predicate)

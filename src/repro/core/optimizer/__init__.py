@@ -1,0 +1,15 @@
+"""Cost-based optimization: memo, rules, cardinality, cost, segmentation."""
+
+from .cardinality import ColumnEstimate, Estimate, Estimator
+from .implementation import CostedPlan, Implementer
+from .memo import Group, GroupExpr, GroupRefLeaf, Memo
+from .optimizer import Optimizer, OptimizerConfig
+from .pushdown import push_selections
+from .rules import DEFAULT_RULES, Rule
+from .segment import push_join_below_segment_apply, segment_alternatives
+
+__all__ = ["ColumnEstimate", "CostedPlan", "DEFAULT_RULES", "Estimate",
+           "Estimator", "Group", "GroupExpr", "GroupRefLeaf", "Implementer",
+           "Memo", "Optimizer", "OptimizerConfig", "Rule",
+           "push_join_below_segment_apply", "push_selections",
+           "segment_alternatives"]

@@ -1,0 +1,215 @@
+"""Cost-based optimizer driver — paper Section 4.
+
+Pipeline: selection pushdown → SegmentApply whole-tree variants →
+per-variant memo exploration (transformation rules) → implementation
+(physical alternatives, costed) → cheapest plan wins.
+
+``OptimizerConfig`` switches individual technique families on and off;
+the benchmark harness uses these switches as the paper's "systems" axis
+(FULL vs decorrelation-only vs naive) and for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from ...algebra import RelationalOp
+from ...catalog.statistics import TableStats
+from ...physical.plan import PhysicalOp
+from .cardinality import Estimate, Estimator
+from .implementation import CostedPlan, Implementer
+from .memo import GroupRefLeaf, Memo
+from .pushdown import push_selections
+from .rules import DEFAULT_RULES, Rule
+from .segment import segment_alternatives
+
+
+@dataclass
+class OptimizerConfig:
+    """Feature switches for the optimization techniques."""
+
+    predicate_pushdown: bool = True
+    join_reorder: bool = True
+    groupby_reorder: bool = True
+    local_aggregates: bool = True
+    segment_apply: bool = True
+    index_apply: bool = True
+    semijoin_rewrites: bool = True
+    max_segment_variants: int = 8
+    max_memo_exprs: int = 3000
+
+    def rule_enabled(self, rule: Rule) -> bool:
+        name = rule.name
+        if name == "select_pushdown":
+            return self.predicate_pushdown
+        if name.startswith("join_"):
+            return self.join_reorder
+        if name in ("groupby_push_below_join", "groupby_pull_above_join",
+                    "semijoin_groupby_reorder"):
+            return self.groupby_reorder
+        if name == "semijoin_to_join_distinct":
+            return self.semijoin_rewrites
+        if name.startswith("local"):
+            return self.local_aggregates
+        return True
+
+
+class _TreeContext:
+    """Implementation-time services for one memo (stats, indexes, nested
+    optimization of SegmentApply inner trees)."""
+
+    def __init__(self, optimizer: "Optimizer",
+                 segment_rows: Mapping[frozenset[int], Estimate]) -> None:
+        self._optimizer = optimizer
+        self._segment_rows = dict(segment_rows)
+        self.config = optimizer.config
+
+    def table_rows(self, table_name: str) -> float:
+        stats = self._optimizer.stats_provider(table_name)
+        return float(stats.row_count) if stats is not None else 1000.0
+
+    def pick_index(self, table_name: str,
+                   available: set[str]) -> Optional[tuple[str, ...]]:
+        """The widest index whose every column has a probe value."""
+        best: Optional[tuple[str, ...]] = None
+        for index_cols in self._optimizer.index_provider(table_name):
+            if set(index_cols) <= available:
+                if best is None or len(index_cols) > len(best):
+                    best = tuple(index_cols)
+        return best
+
+    def index_selectivity_denominator(self, table_name: str,
+                                      index_cols) -> float:
+        stats = self._optimizer.stats_provider(table_name)
+        if stats is None:
+            return 10.0
+        denominator = 1.0
+        for name in index_cols:
+            info = stats.column(name)
+            denominator *= max(float(info.distinct_count), 1.0) \
+                if info is not None else 10.0
+        return denominator
+
+    def make_estimator(self, group_lookup=None) -> Estimator:
+        return Estimator(self._optimizer.stats_provider, group_lookup,
+                         self._segment_rows)
+
+    def optimize_subtree(self, rel: RelationalOp,
+                         segment_rows: Mapping[frozenset[int], Estimate]
+                         ) -> CostedPlan:
+        merged = dict(self._segment_rows)
+        merged.update(segment_rows)
+        return self._optimizer._optimize_tree(rel, merged)
+
+
+class Optimizer:
+    """Cost-based optimizer over a statistics and index provider."""
+
+    def __init__(self,
+                 stats_provider: Callable[[str], Optional[TableStats]],
+                 index_provider: Callable[[str], list[tuple[str, ...]]],
+                 config: OptimizerConfig | None = None) -> None:
+        self.stats_provider = stats_provider
+        self.index_provider = index_provider
+        self.config = config or OptimizerConfig()
+
+    def optimize(self, rel: RelationalOp) -> PhysicalOp:
+        return self.optimize_with_cost(rel).plan
+
+    def optimize_with_cost(self, rel: RelationalOp) -> CostedPlan:
+        if self.config.predicate_pushdown:
+            rel = push_selections(rel)
+        # SegmentApply patterns are detected on the canonical pushed-down
+        # shape; the greedy join seeding then runs on every variant (it
+        # must not run first — reordering can bury the aggregated self-join
+        # branch the Section 3.4 matcher looks for).
+        variants = [rel]
+        if self.config.segment_apply:
+            variants.extend(segment_alternatives(
+                rel, self.config.max_segment_variants))
+        if self.config.join_reorder:
+            from ...algebra import plan_signature
+            from .joingraph import greedy_join_order
+
+            seeded = []
+            for variant in variants:
+                reordered = greedy_join_order(
+                    variant, lambda: Estimator(self.stats_provider))
+                if plan_signature(reordered) != plan_signature(variant):
+                    seeded.append(reordered)
+            # Keep the original shapes too: the greedy seed widens the
+            # reachable space but must not narrow it.
+            variants = variants + seeded
+        best: Optional[CostedPlan] = None
+        for variant in variants:
+            costed = self._optimize_tree(variant, {})
+            if best is None or costed.cost < best.cost:
+                best = costed
+        assert best is not None
+        return best
+
+    # -- single-tree optimization ----------------------------------------------
+
+    def _optimize_tree(self, rel: RelationalOp,
+                       segment_rows: Mapping[frozenset[int], Estimate]
+                       ) -> CostedPlan:
+        context = _TreeContext(self, segment_rows)
+
+        def estimator_factory(group_lookup=None) -> Estimator:
+            return Estimator(self.stats_provider, group_lookup,
+                             segment_rows)
+
+        memo = Memo(estimator_factory)
+        root = memo.insert_tree(rel)
+        self._explore(memo)
+        implementer = Implementer(memo, context)
+        return implementer.best_plan(root)
+
+    def _explore(self, memo: Memo) -> None:
+        """Work-list exploration: every expression is offered to every rule
+        once (with the child bindings available at that moment); results
+        enter the memo and the work list.  A global expression budget keeps
+        large join orders from exploding."""
+        rules = [r for r in DEFAULT_RULES if self.config.rule_enabled(r)]
+        if not rules:
+            return
+        from collections import deque
+
+        queue = deque()
+        total = 0
+        for group in memo.groups:
+            for expr in group.exprs:
+                queue.append((expr, group.group_id))
+                total += 1
+        budget = self.config.max_memo_exprs
+
+        def enqueue(expr, group_id):
+            nonlocal total
+            queue.append((expr, group_id))
+            total += 1
+
+        memo.on_new_expr = enqueue
+        try:
+            while queue and total <= budget:
+                expr, group_id = queue.popleft()
+                for rule in rules:
+                    for binding in self._bindings(memo, expr,
+                                                  rule.needs_depth2):
+                        for result in rule.apply(binding, memo):
+                            memo.add_expr_to_group(result, group_id)
+        finally:
+            memo.on_new_expr = None
+
+    def _bindings(self, memo: Memo, expr, needs_depth2: bool):
+        yield expr.op
+        if not needs_depth2:
+            return
+        op = expr.op
+        for i, child in enumerate(op.children):
+            if not isinstance(child, GroupRefLeaf):
+                continue
+            for child_expr in memo.group(child.group_id).exprs:
+                children = list(op.children)
+                children[i] = child_expr.op
+                yield op.with_children(children)

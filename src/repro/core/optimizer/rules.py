@@ -1,0 +1,563 @@
+"""Transformation rules for cost-based exploration.
+
+Each rule receives a *materialized binding*: the root operator with its
+relational children either memo group references or (for depth-2 rules)
+one level of expanded child whose own children are group references.
+Rules return alternative trees that the memo inserts into the same group —
+generation only; the cost model chooses (paper: "it is best to generate
+both the alternatives and leave the choice to the cost based optimizer").
+
+The rule set implements the paper's Section 3 (plus classic join
+reorderings needed to connect them):
+
+* ``GroupByPushBelowJoin`` / ``GroupByPullAboveJoin`` — Section 3.1, with
+  the three conditions (predicate columns grouped or FD-derivable, key of
+  the preserved side grouped, aggregates confined to the pushed side);
+* ``GroupByPushBelowOuterJoin`` — Section 3.2, adding the *computing
+  project* that supplies ``agg(∅)`` constants for NULL-padded rows;
+* ``SemiJoinGroupByReorder`` — semijoin/antijoin vs GroupBy, both ways;
+* ``SemiJoinToJoinDistinct`` — semijoin as join + duplicate removal,
+  exposing the GroupBy to further reordering (covers the strategies of
+  Pirahesh et al. as the paper notes);
+* ``LocalGlobalSplit`` / ``LocalGroupByPushBelowJoin`` — Section 3.3;
+* ``JoinCommute`` / ``JoinAssociate`` — the substrate reorderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...algebra import (AggregateCall, AggregateFunction, Apply, Case,
+                        Column, ColumnRef, ColumnSet, Comparison, GroupBy,
+                        IsNull, Join, JoinKind, Literal, LocalGroupBy,
+                        Project, RelationalOp, ScalarExpr, Select,
+                        conjunction, conjuncts, derive_fds, derive_keys,
+                        descriptor)
+from ...algebra.scalar import Arithmetic
+from .memo import GroupRefLeaf, Memo
+
+
+class Rule:
+    """Base class; ``name`` keys config switches and diagnostics."""
+
+    name = "rule"
+    needs_depth2 = False
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        raise NotImplementedError
+
+
+def _ids(columns) -> frozenset[int]:
+    return frozenset(c.cid for c in columns)
+
+
+def _restore(tree: RelationalOp, columns) -> RelationalOp:
+    """Project the tree back to an exact output column list (memo groups
+    require identical output columns across alternatives)."""
+    if [c.cid for c in tree.output_columns()] == [c.cid for c in columns]:
+        return tree
+    return Project.passthrough(tree, columns)
+
+
+class JoinCommute(Rule):
+    name = "join_commute"
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not (isinstance(op, Join) and op.kind is JoinKind.INNER):
+            return []
+        flipped = Join(JoinKind.INNER, op.right, op.left, op.predicate)
+        return [_restore(flipped, op.output_columns())]
+
+
+class JoinAssociate(Rule):
+    """(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C), distributing conjuncts by scope."""
+
+    name = "join_associate"
+    needs_depth2 = True
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not (isinstance(op, Join) and op.kind is JoinKind.INNER):
+            return []
+        inner = op.left
+        if not (isinstance(inner, Join) and inner.kind is JoinKind.INNER):
+            return []
+        a, b, c = inner.left, inner.right, op.right
+        parts: list[ScalarExpr] = []
+        if inner.predicate is not None:
+            parts.extend(conjuncts(inner.predicate))
+        if op.predicate is not None:
+            parts.extend(conjuncts(op.predicate))
+        bc_ids = _ids(b.output_columns()) | _ids(c.output_columns())
+        lower = [p for p in parts if p.free_columns().ids() <= bc_ids]
+        upper = [p for p in parts if not p.free_columns().ids() <= bc_ids]
+        new_inner = Join(JoinKind.INNER, b, c,
+                         conjunction(lower) if lower else None)
+        rotated = Join(JoinKind.INNER, a, new_inner,
+                       conjunction(upper) if upper else None)
+        return [_restore(rotated, op.output_columns())]
+
+
+class GroupByPushBelowJoin(Rule):
+    """Section 3.1/3.2: move a GroupBy below a join or left outer join."""
+
+    name = "groupby_push_below_join"
+    needs_depth2 = True
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not isinstance(op, GroupBy):
+            return []
+        join = op.child
+        if not isinstance(join, Join):
+            return []
+        results: list[RelationalOp] = []
+        if join.kind is JoinKind.INNER:
+            for side in ("right", "left"):
+                pushed = _push_groupby_into(op, join, side, outer=False)
+                if pushed is not None:
+                    results.append(pushed)
+        elif join.kind is JoinKind.LEFT_OUTER:
+            pushed = _push_groupby_into(op, join, "right", outer=True)
+            if pushed is not None:
+                results.append(pushed)
+        return results
+
+
+def _push_groupby_into(gb: GroupBy, join: Join, side: str,
+                       outer: bool) -> Optional[RelationalOp]:
+    aggregated = join.right if side == "right" else join.left
+    preserved = join.left if side == "right" else join.right
+    agg_ids = _ids(aggregated.output_columns())
+    preserved_ids = _ids(preserved.output_columns())
+    group_ids = _ids(gb.group_columns)
+
+    # Condition 3: aggregate expressions confined to the aggregated side.
+    for _, call in gb.aggregates:
+        if call.argument is None:
+            return None  # count(*) counts join multiplicity; do not push
+        if not call.argument.free_columns().ids() <= agg_ids:
+            return None
+
+    # Condition 2: a key of the preserved side is grouped.
+    if not any(key <= group_ids for key in derive_keys(preserved)):
+        return None
+
+    # Condition 1: aggregated-side predicate columns are grouped, directly
+    # or pinned per group by the join's equality conjuncts / input FDs
+    # (e.g. l2_partkey ≡ p_partkey with p_partkey grouped).  Equality
+    # pinning stays valid under LEFT OUTER padding: an unmatched preserved
+    # row forms a singleton group.
+    predicate_ids = (join.predicate.free_columns().ids()
+                     if join.predicate is not None else frozenset())
+    inner_pred_ids = predicate_ids & agg_ids
+    extra = inner_pred_ids - group_ids
+    if extra:
+        fds = derive_fds(preserved).copy()
+        fds.add_all(derive_fds(aggregated))
+        if join.predicate is not None:
+            from ...algebra.properties import _add_predicate_fds
+            _add_predicate_fds(fds, join.predicate)
+        if not fds.determines(group_ids, extra):
+            return None
+
+    by_id = {c.cid: c for c in aggregated.output_columns()}
+    new_group_cols = [c for c in gb.group_columns if c.cid in agg_ids]
+    for cid in sorted(inner_pred_ids - _ids(new_group_cols)):
+        new_group_cols.append(by_id[cid])
+
+    if outer:
+        return _push_below_outerjoin(gb, join, new_group_cols)
+
+    pushed = GroupBy(aggregated, new_group_cols, gb.aggregates)
+    if side == "right":
+        new_join = Join(join.kind, preserved, pushed, join.predicate)
+    else:
+        new_join = Join(join.kind, pushed, preserved, join.predicate)
+    return _restore(new_join, gb.output_columns())
+
+
+def _push_below_outerjoin(gb: GroupBy, join: Join,
+                          new_group_cols: list[Column]
+                          ) -> Optional[RelationalOp]:
+    """Section 3.2: the pushed GroupBy's aggregates must yield their
+    NULL-padded value on unmatched rows; aggregates whose ``agg(∅)`` is not
+    NULL get a *computing project* that substitutes the compile-time
+    constant."""
+    needs_project = [
+        (column, call) for column, call in gb.aggregates
+        if call.descriptor.value_on_empty is not None]
+    if not needs_project:
+        pushed = GroupBy(join.right, new_group_cols, gb.aggregates)
+        new_join = Join(JoinKind.LEFT_OUTER, join.left, pushed,
+                        join.predicate)
+        return _restore(new_join, gb.output_columns())
+
+    # Detector: any pushed output column that cannot be NULL except via
+    # padding.  Grouping columns may be nullable; a count output is not.
+    detector_call = needs_project[0]
+    inner_aggs = []
+    rename: dict[int, Column] = {}
+    for column, call in gb.aggregates:
+        if call.descriptor.value_on_empty is None:
+            inner_aggs.append((column, call))
+        else:
+            fresh = Column(column.name, column.dtype, nullable=False)
+            rename[column.cid] = fresh
+            inner_aggs.append((fresh, call))
+    pushed = GroupBy(join.right, new_group_cols, inner_aggs)
+    new_join = Join(JoinKind.LEFT_OUTER, join.left, pushed, join.predicate)
+    detector = rename[detector_call[0].cid]
+    items = []
+    for column in gb.output_columns():
+        if column.cid in rename:
+            inner_col = rename[column.cid]
+            constant = None
+            for out, call in gb.aggregates:
+                if out.cid == column.cid:
+                    constant = call.descriptor.value_on_empty
+            guarded = Case(
+                [(IsNull(ColumnRef(detector)), Literal(constant))],
+                ColumnRef(inner_col))
+            items.append((column, guarded))
+        else:
+            items.append((column, ColumnRef(column)))
+    return Project(new_join, items)
+
+
+class GroupByPullAboveJoin(Rule):
+    """Section 3.1: S ⋈p (G_{A,F} R) = G_{A∪columns(S),F} (S ⋈p R).
+
+    Also handles the Section 3.2 outer-join direction,
+    ``S LOJ_p (G_{A,F} R) = G_{A∪columns(S),F} (S LOJ_p R)``, under the
+    conditions that make the NULL-padded row of an unmatched ``s``
+    aggregate to exactly the padding the left side produces: every
+    aggregate must be NULL-on-empty with an argument strict in ``R``'s
+    columns (a padded row contributes nothing and a padded-only group
+    yields NULL), and the join predicate must reject NULL on a grouping
+    column of ``R`` so no matched row can share a group with the padded
+    row.
+    """
+
+    name = "groupby_pull_above_join"
+    needs_depth2 = True
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not isinstance(op, Join):
+            return []
+        if op.kind is JoinKind.INNER:
+            sides = ("right", "left")
+        elif op.kind is JoinKind.LEFT_OUTER:
+            sides = ("right",)
+        else:
+            return []
+        results = []
+        for side in sides:
+            child = op.right if side == "right" else op.left
+            other = op.left if side == "right" else op.right
+            if not isinstance(child, GroupBy):
+                continue
+            agg_ids = _ids(c for c, _ in child.aggregates)
+            predicate_ids = (op.predicate.free_columns().ids()
+                             if op.predicate is not None else frozenset())
+            if predicate_ids & agg_ids:
+                continue  # predicate may not use aggregate results
+            if not derive_keys(other):
+                continue  # the joined relation must have a key
+            if op.kind is JoinKind.LEFT_OUTER:
+                if not self._outer_pull_sound(op, child):
+                    continue
+            if side == "right":
+                new_join = Join(op.kind, other, child.child, op.predicate)
+            else:
+                new_join = Join(op.kind, child.child, other, op.predicate)
+            groups = list(other.output_columns()) + list(child.group_columns)
+            pulled = GroupBy(new_join, groups, child.aggregates)
+            results.append(_restore(pulled, op.output_columns()))
+        return results
+
+    def _outer_pull_sound(self, op: Join, gb: GroupBy) -> bool:
+        from ...algebra import null_rejected_columns, strict_columns
+
+        inner_ids = _ids(gb.child.output_columns())
+        for _, call in gb.aggregates:
+            if call.descriptor.value_on_empty is not None:
+                return False  # count would turn NULL padding into 0
+            if call.argument is None or \
+                    not (strict_columns(call.argument) & inner_ids):
+                return False
+        if op.predicate is None:
+            return False
+        rejected = null_rejected_columns(op.predicate)
+        group_ids = _ids(gb.group_columns)
+        return bool(rejected & group_ids)
+
+
+class SemiJoinGroupByReorder(Rule):
+    """Semijoin/antijoin vs GroupBy, both directions (Section 3.1 end)."""
+
+    name = "semijoin_groupby_reorder"
+    needs_depth2 = True
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        # Push the semijoin below: (G R) ⋉p S  →  G (R ⋉p S)
+        if isinstance(op, Join) and op.kind.left_only_output \
+                and isinstance(op.left, GroupBy):
+            gb = op.left
+            agg_ids = _ids(c for c, _ in gb.aggregates)
+            predicate_ids = (op.predicate.free_columns().ids()
+                             if op.predicate is not None else frozenset())
+            if not predicate_ids & agg_ids:
+                inner = Join(op.kind, gb.child, op.right, op.predicate)
+                return [GroupBy(inner, gb.group_columns, gb.aggregates)]
+            return []
+        # Pull the GroupBy above: G (R ⋉p S) → (G R) ⋉p S
+        if isinstance(op, GroupBy) and isinstance(op.child, Join) \
+                and op.child.kind.left_only_output:
+            join = op.child
+            predicate_ids = (join.predicate.free_columns().ids()
+                             if join.predicate is not None else frozenset())
+            left_ids = _ids(join.left.output_columns())
+            group_ids = _ids(op.group_columns)
+            needed = predicate_ids & left_ids
+            if needed <= group_ids:
+                gb = GroupBy(join.left, op.group_columns, op.aggregates)
+                return [Join(join.kind, gb, join.right, join.predicate)]
+        return []
+
+
+class SemiJoinToJoinDistinct(Rule):
+    """Semijoin = join followed by duplicate removal (needs a key)."""
+
+    name = "semijoin_to_join_distinct"
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not (isinstance(op, Join) and op.kind is JoinKind.LEFT_SEMI):
+            return []
+        if not derive_keys(op.left):
+            return []
+        inner = Join(JoinKind.INNER, op.left, op.right, op.predicate)
+        trimmed = Project.passthrough(inner, op.left.output_columns())
+        return [GroupBy(trimmed, op.left.output_columns(), [])]
+
+
+class LocalGlobalSplit(Rule):
+    """Section 3.3: G_{A,F} = G_{A,Fg} ∘ LG_{A,Fl} (+ finalizer project)."""
+
+    name = "local_global_split"
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not isinstance(op, GroupBy) or not op.aggregates:
+            return []
+        if any(call.distinct for _, call in op.aggregates):
+            return []
+        if any(call.argument is None and
+               not call.descriptor.splittable
+               for _, call in op.aggregates):
+            return []
+        # Do not re-split a global aggregate (child group already holds a
+        # LocalGroupBy).
+        if isinstance(op.child, GroupRefLeaf):
+            child_group = memo.group(op.child.group_id)
+            if any(isinstance(e.op, LocalGroupBy) for e in child_group.exprs):
+                return []
+
+        local_aggs: list[tuple[Column, AggregateCall]] = []
+        global_aggs: list[tuple[Column, AggregateCall]] = []
+        finalizers: dict[int, ScalarExpr] = {}
+        for column, call in op.aggregates:
+            split = call.descriptor.split
+            role_to_global: dict[str, Column] = {}
+            local_cols = []
+            for part in split.local:
+                local_col = Column(f"{column.name}_{part.role}_l",
+                                   column.dtype if part.func not in
+                                   (AggregateFunction.COUNT,
+                                    AggregateFunction.COUNT_STAR)
+                                   else _int_type(), nullable=True)
+                argument = (call.argument
+                            if part.func is not AggregateFunction.COUNT_STAR
+                            else None)
+                local_aggs.append(
+                    (local_col, AggregateCall(part.func, argument)))
+                local_cols.append(local_col)
+            if split.finalizer is None:
+                (g_part,) = split.global_
+                global_aggs.append(
+                    (column, AggregateCall(g_part.func,
+                                           ColumnRef(local_cols[0]))))
+            else:
+                for g_part, local_col in zip(split.global_, local_cols):
+                    g_col = Column(f"{column.name}_{g_part.role}_g",
+                                   local_col.dtype, nullable=True)
+                    global_aggs.append(
+                        (g_col, AggregateCall(g_part.func,
+                                              ColumnRef(local_col))))
+                    role_to_global[g_part.role] = g_col
+                if split.finalizer == "sum/count":
+                    finalizers[column.cid] = Arithmetic(
+                        "/", ColumnRef(role_to_global["sum"]),
+                        ColumnRef(role_to_global["count"]))
+                else:  # pragma: no cover - only sum/count exists
+                    return []
+
+        local = LocalGroupBy(op.child, op.group_columns, local_aggs)
+        global_gb = GroupBy(local, op.group_columns, global_aggs)
+        if not finalizers:
+            return [global_gb]
+        items = []
+        for column in op.output_columns():
+            if column.cid in finalizers:
+                items.append((column, finalizers[column.cid]))
+            else:
+                items.append((column, ColumnRef(column)))
+        return [Project(global_gb, items)]
+
+
+def _int_type():
+    from ...algebra import DataType
+    return DataType.INTEGER
+
+
+class LocalGroupByPushBelowJoin(Rule):
+    """Section 3.3: LocalGroupBy moves below a join to either side —
+    grouping columns can always be extended, so the only real condition is
+    that the aggregates read one side only."""
+
+    name = "localgroupby_push_below_join"
+    needs_depth2 = True
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not isinstance(op, LocalGroupBy):
+            return []
+        join = op.child
+        if not isinstance(join, Join):
+            return []
+        results = []
+        if join.kind is JoinKind.INNER:
+            sides = ("right", "left")
+        elif join.kind is JoinKind.LEFT_OUTER:
+            sides = ("right",)
+        else:
+            return []
+        for side in sides:
+            pushed = self._push(op, join, side)
+            if pushed is not None:
+                results.append(pushed)
+        return results
+
+    def _push(self, lgb: LocalGroupBy, join: Join,
+              side: str) -> Optional[RelationalOp]:
+        target = join.right if side == "right" else join.left
+        other = join.left if side == "right" else join.right
+        target_ids = _ids(target.output_columns())
+        for _, call in lgb.aggregates:
+            if call.argument is None:
+                return None  # count(*) over the join counts multiplicity
+            arg_ids = call.argument.free_columns().ids()
+            if not arg_ids <= target_ids:
+                return None
+            if join.kind is JoinKind.LEFT_OUTER:
+                from ...algebra import strict_columns
+                if not strict_columns(call.argument) & target_ids:
+                    return None  # padded rows must contribute nothing
+        predicate_ids = (join.predicate.free_columns().ids()
+                         if join.predicate is not None else frozenset())
+        by_id = {c.cid: c for c in target.output_columns()}
+        group_cols = [c for c in lgb.group_columns if c.cid in target_ids]
+        for cid in sorted((predicate_ids & target_ids)
+                          - _ids(group_cols)):
+            group_cols.append(by_id[cid])
+        if not group_cols:
+            return None  # degenerate: nothing to segment on
+        pushed = LocalGroupBy(target, group_cols, lgb.aggregates)
+        if side == "right":
+            new_join = Join(join.kind, other, pushed, join.predicate)
+        else:
+            new_join = Join(join.kind, pushed, other, join.predicate)
+        return _restore(new_join, lgb.output_columns())
+
+
+class SelectPushdown(Rule):
+    """Move filters below projections, join inputs and GroupBy inside the
+    memo.
+
+    The normalizer's global selection pushdown runs before exploration;
+    this rule re-applies the same (Section 3.1) moves to trees *produced by
+    other rules* — e.g. once GroupByPushBelowJoin computes the aggregate on
+    one join side, the HAVING filter can follow it below the join, which is
+    what makes the three formulations of the Section 1.1 query converge to
+    one plan (syntax independence).
+    """
+
+    name = "select_pushdown"
+    needs_depth2 = True
+
+    def apply(self, op: RelationalOp, memo: Memo) -> list[RelationalOp]:
+        if not isinstance(op, Select):
+            return []
+        child = op.child
+
+        if isinstance(child, Project):
+            mapping = {c.cid: e for c, e in child.items}
+            if op.predicate.free_columns().ids() <= frozenset(mapping):
+                pushed = op.predicate.substitute_columns(mapping)
+                return [Project(Select(child.child, pushed), child.items)]
+            return []
+
+        if isinstance(child, Join) and child.kind in (
+                JoinKind.INNER, JoinKind.LEFT_SEMI, JoinKind.LEFT_ANTI,
+                JoinKind.LEFT_OUTER):
+            results = []
+            left_ids = _ids(child.left.output_columns())
+            parts = conjuncts(op.predicate)
+            to_left = [p for p in parts
+                       if p.free_columns().ids() <= left_ids]
+            rest = [p for p in parts
+                    if not p.free_columns().ids() <= left_ids]
+            if to_left:
+                new_left = Select(child.left, conjunction(to_left))
+                pushed_join = Join(child.kind, new_left, child.right,
+                                   child.predicate)
+                tree = Select(pushed_join, conjunction(rest)) if rest \
+                    else pushed_join
+                results.append(tree)
+            if child.kind is JoinKind.INNER:
+                right_ids = _ids(child.right.output_columns())
+                to_right = [p for p in parts
+                            if p.free_columns().ids() <= right_ids]
+                remainder = [p for p in parts
+                             if not p.free_columns().ids() <= right_ids]
+                if to_right:
+                    new_right = Select(child.right, conjunction(to_right))
+                    pushed_join = Join(child.kind, child.left, new_right,
+                                       child.predicate)
+                    tree = Select(pushed_join, conjunction(remainder)) \
+                        if remainder else pushed_join
+                    results.append(tree)
+            return results
+
+        if isinstance(child, (GroupBy, LocalGroupBy)):
+            group_ids = _ids(child.group_columns)
+            parts = conjuncts(op.predicate)
+            down = [p for p in parts if p.free_columns().ids() <= group_ids]
+            stay = [p for p in parts
+                    if not p.free_columns().ids() <= group_ids]
+            if not down:
+                return []
+            pushed = child.with_children(
+                [Select(child.child, conjunction(down))])
+            return [Select(pushed, conjunction(stay)) if stay else pushed]
+
+        return []
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    JoinCommute(),
+    JoinAssociate(),
+    SelectPushdown(),
+    GroupByPushBelowJoin(),
+    GroupByPullAboveJoin(),
+    SemiJoinGroupByReorder(),
+    SemiJoinToJoinDistinct(),
+    LocalGlobalSplit(),
+    LocalGroupByPushBelowJoin(),
+)

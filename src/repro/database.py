@@ -1,0 +1,225 @@
+"""Public facade: an embedded SQL engine running the paper's pipeline.
+
+``Database`` owns a catalog and in-memory storage and executes SQL through
+parse → bind (algebrize) → normalize (decorrelate) → cost-based optimize →
+physical execution.  ``ExecutionMode`` bundles the paper-relevant
+configurations:
+
+* ``FULL`` — every technique (the paper's system);
+* ``DECORRELATE_ONLY`` — subquery flattening but no GroupBy reordering,
+  local aggregates or segmented execution;
+* ``CORRELATED`` — normalization keeps Apply (no flattening); execution is
+  nested-loops correlated, though the executor may still pick indexes;
+* ``NAIVE`` — direct interpretation of the bound tree with mutual
+  scalar/relational recursion (the paper's Section 2.1 strawman).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from .algebra import DataType, RelationalOp, explain
+from .binder import Binder, BoundQuery
+from .catalog import Catalog, ColumnDef, IndexDef, TableDef
+from .core.normalize import NormalizeConfig, normalize
+from .core.optimizer import Optimizer, OptimizerConfig
+from .errors import ReproError
+from .executor import NaiveInterpreter
+from .executor.physical import PhysicalExecutor
+from .physical import PhysicalOp, explain_physical
+from .sql import parse
+from .storage import Storage
+
+
+@dataclass(frozen=True)
+class ExecutionMode:
+    """One engine configuration (normalization + optimizer switches)."""
+
+    name: str
+    normalize_config: NormalizeConfig = field(default_factory=NormalizeConfig)
+    optimizer_config: OptimizerConfig = field(default_factory=OptimizerConfig)
+    use_naive_interpreter: bool = False
+
+
+FULL = ExecutionMode("full")
+
+DECORRELATE_ONLY = ExecutionMode(
+    "decorrelate_only",
+    optimizer_config=OptimizerConfig(
+        groupby_reorder=False, local_aggregates=False, segment_apply=False,
+        semijoin_rewrites=False))
+
+CORRELATED = ExecutionMode(
+    "correlated",
+    normalize_config=NormalizeConfig(decorrelate=False),
+    optimizer_config=OptimizerConfig(
+        groupby_reorder=False, local_aggregates=False, segment_apply=False,
+        semijoin_rewrites=False, join_reorder=False))
+
+NAIVE = ExecutionMode("naive", use_naive_interpreter=True)
+
+MODES = {mode.name: mode for mode in (FULL, DECORRELATE_ONLY, CORRELATED,
+                                      NAIVE)}
+
+
+class QueryResult:
+    """Rows plus output column names."""
+
+    def __init__(self, names: list[str], rows: list[tuple]) -> None:
+        self.names = names
+        self.rows = rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryResult):
+            return self.rows == other.rows
+        return self.rows == other
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.names}, {len(self.rows)} rows)"
+
+
+class Database:
+    """An embedded SQL database running the paper's optimizer pipeline."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.storage = Storage()
+        self._binder = Binder(self.catalog)
+
+    # -- DDL / DML ---------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple],
+                     primary_key: Sequence[str] = (),
+                     unique_keys: Sequence[Sequence[str]] = ()) -> TableDef:
+        """Create a table.
+
+        ``columns`` is a sequence of ``(name, DataType)`` or
+        ``(name, DataType, nullable)`` tuples.
+        """
+        defs = []
+        for spec in columns:
+            if len(spec) == 2:
+                defs.append(ColumnDef(spec[0], spec[1]))
+            else:
+                defs.append(ColumnDef(spec[0], spec[1], spec[2]))
+        table = TableDef(name, defs, primary_key, unique_keys)
+        self.catalog.create_table(table)
+        self.storage.create(table)
+        return table
+
+    def create_index(self, index_name: str, table_name: str,
+                     column_names: Sequence[str],
+                     kind: str = "hash") -> IndexDef:
+        index = IndexDef(index_name, table_name, tuple(column_names), kind)
+        self.catalog.create_index(index)
+        self.storage.get(table_name).add_index(index)
+        return index
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Create a view: a named query expanded (and then normalized and
+        optimized) wherever it is referenced.  The definition is validated
+        immediately by binding it once."""
+        from .sql import parse
+
+        self._binder.bind(parse(sql))  # validate eagerly
+        self.catalog.create_view(name, sql)
+
+    def drop_view(self, name: str) -> None:
+        self.catalog.drop_view(name)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table, its storage and its indexes."""
+        self.catalog.drop_table(name)
+        self.storage.drop(name)
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self.catalog.tables()]
+
+    def table_statistics(self, name: str):
+        """Current statistics for a stored table (recomputed lazily)."""
+        return self.storage.get(name).statistics()
+
+    def insert(self, table_name: str,
+               rows: Iterable[Sequence[Any] | dict]) -> int:
+        return self.storage.get(table_name).insert_many(rows)
+
+    # -- queries -------------------------------------------------------------------
+
+    def execute(self, sql: str,
+                mode: ExecutionMode = FULL) -> QueryResult:
+        bound = self._binder.bind(parse(sql))
+        if mode.use_naive_interpreter:
+            interpreter = NaiveInterpreter(
+                lambda name: self.storage.get(name).rows)
+            return QueryResult(bound.names, interpreter.run(bound.rel))
+        plan = self._plan(bound, mode)
+        executor = PhysicalExecutor(self.storage)
+        return QueryResult(bound.names, executor.run(plan))
+
+    def explain(self, sql: str, mode: ExecutionMode = FULL,
+                costs: bool = False) -> str:
+        """Normalized logical tree and chosen physical plan, as text.
+
+        With ``costs=True`` the output ends with the optimizer's estimated
+        cost (arbitrary work units) and estimated output rows.
+        """
+        bound = self._binder.bind(parse(sql))
+        normalized = normalize(bound.rel, mode.normalize_config)
+        sections = ["-- logical (normalized) --", explain(normalized)]
+        if not mode.use_naive_interpreter:
+            optimizer = self._optimizer(mode)
+            if costs:
+                from .core.optimizer import Estimator
+
+                costed = optimizer.optimize_with_cost(normalized)
+                sections += ["-- physical --",
+                             explain_physical(costed.plan)]
+                estimate = Estimator(self._stats_provider).estimate(
+                    normalized)
+                sections += [
+                    "-- estimates --",
+                    f"cost: {costed.cost:.1f}",
+                    f"rows: {estimate.rows:.1f}",
+                ]
+            else:
+                plan = optimizer.optimize(normalized)
+                sections += ["-- physical --", explain_physical(plan)]
+        return "\n".join(sections)
+
+    def plan(self, sql: str, mode: ExecutionMode = FULL) -> PhysicalOp:
+        bound = self._binder.bind(parse(sql))
+        return self._plan(bound, mode)
+
+    def _plan(self, bound: BoundQuery, mode: ExecutionMode) -> PhysicalOp:
+        normalized = normalize(bound.rel, mode.normalize_config)
+        return self._optimizer(mode).optimize(normalized)
+
+    def _optimizer(self, mode: ExecutionMode) -> Optimizer:
+        return Optimizer(self._stats_provider, self._index_provider,
+                         mode.optimizer_config)
+
+    # -- optimizer services ------------------------------------------------------
+
+    def _stats_provider(self, table_name: str):
+        try:
+            return self.storage.get(table_name).statistics()
+        except ReproError:
+            return None
+
+    def _index_provider(self, table_name: str) -> list[tuple[str, ...]]:
+        try:
+            table = self.catalog.get_table(table_name)
+        except ReproError:
+            return []
+        candidates = [tuple(key) for key in table.all_keys()]
+        for index in self.catalog.indexes_on(table_name):
+            candidates.append(tuple(index.column_names))
+        return candidates

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the query processor.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The split mirrors the stages of
+the pipeline: parsing, binding (name resolution), planning and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised by the lexer/parser for malformed SQL text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """Raised by the binder for name-resolution and typing problems."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown/duplicate tables, columns or indexes."""
+
+
+class PlanError(ReproError):
+    """Raised when the optimizer cannot produce a plan (internal invariant)."""
+
+
+class ExecutionError(ReproError):
+    """Raised for run-time execution failures."""
+
+
+class SubqueryReturnedMultipleRows(ExecutionError):
+    """SQL run-time error: a scalar subquery returned more than one row.
+
+    This is the error the paper's ``Max1row`` operator exists to raise
+    (Section 2.4, "exception subqueries").
+    """
+
+    def __init__(self) -> None:
+        super().__init__("scalar subquery returned more than one row")

@@ -1,0 +1,6 @@
+"""Execution engines: the naive logical interpreter (oracle/baseline) and
+the physical iterator engine."""
+
+from .naive import NaiveInterpreter, like_match
+
+__all__ = ["NaiveInterpreter", "like_match"]

@@ -1,0 +1,173 @@
+"""Scalar expression compilation for the physical executor.
+
+``compile_expr`` turns a scalar expression into a Python closure
+``fn(row, params) -> value`` where ``row`` is a tuple laid out according to
+the operator's column list and ``params`` maps correlation-parameter column
+ids to values (bound by ``PNLApply``).  Compiling once per operator keeps
+the per-row cost to plain closure calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..algebra.datatypes import (ARITHMETIC_FUNCTIONS, sql_and, sql_compare,
+                                 sql_not, sql_or)
+from ..algebra.scalar import (AggregateCall, And, Arithmetic, Case,
+                              ColumnRef, Comparison, Extract, InList,
+                              IsNull, Like, Literal, Negate, Not, Or,
+                              ScalarExpr)
+from ..errors import ExecutionError
+from .naive import like_match
+
+Layout = Mapping[int, int]
+Compiled = Callable[[tuple, Mapping[int, Any]], Any]
+
+
+def compile_expr(expr: ScalarExpr, layout: Layout) -> Compiled:
+    """Compile ``expr`` against a row layout (column id → tuple position)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row, params: value
+
+    if isinstance(expr, ColumnRef):
+        cid = expr.column.cid
+        if cid in layout:
+            position = layout[cid]
+            return lambda row, params: row[position]
+
+        def read_param(row: tuple, params: Mapping[int, Any]) -> Any:
+            try:
+                return params[cid]
+            except KeyError:
+                raise ExecutionError(
+                    f"unbound column/parameter {expr.column!r}") from None
+        return read_param
+
+    if isinstance(expr, Comparison):
+        op = expr.op
+        left = compile_expr(expr.left, layout)
+        right = compile_expr(expr.right, layout)
+        return lambda row, params: sql_compare(
+            op, left(row, params), right(row, params))
+
+    if isinstance(expr, And):
+        compiled = [compile_expr(a, layout) for a in expr.args]
+
+        def eval_and(row: tuple, params: Mapping[int, Any]) -> Any:
+            result: Any = True
+            for fn in compiled:
+                result = sql_and(result, fn(row, params))
+                if result is False:
+                    return False
+            return result
+        return eval_and
+
+    if isinstance(expr, Or):
+        compiled = [compile_expr(a, layout) for a in expr.args]
+
+        def eval_or(row: tuple, params: Mapping[int, Any]) -> Any:
+            result: Any = False
+            for fn in compiled:
+                result = sql_or(result, fn(row, params))
+                if result is True:
+                    return True
+            return result
+        return eval_or
+
+    if isinstance(expr, Not):
+        inner = compile_expr(expr.arg, layout)
+        return lambda row, params: sql_not(inner(row, params))
+
+    if isinstance(expr, IsNull):
+        inner = compile_expr(expr.arg, layout)
+        if expr.negated:
+            return lambda row, params: inner(row, params) is not None
+        return lambda row, params: inner(row, params) is None
+
+    if isinstance(expr, Arithmetic):
+        fn = ARITHMETIC_FUNCTIONS[expr.op]
+        left = compile_expr(expr.left, layout)
+        right = compile_expr(expr.right, layout)
+        return lambda row, params: fn(left(row, params), right(row, params))
+
+    if isinstance(expr, Negate):
+        inner = compile_expr(expr.arg, layout)
+
+        def negate(row: tuple, params: Mapping[int, Any]) -> Any:
+            value = inner(row, params)
+            return None if value is None else -value
+        return negate
+
+    if isinstance(expr, Case):
+        compiled_whens = [(compile_expr(c, layout), compile_expr(v, layout))
+                          for c, v in expr.whens]
+        otherwise = (compile_expr(expr.otherwise, layout)
+                     if expr.otherwise is not None else None)
+
+        def eval_case(row: tuple, params: Mapping[int, Any]) -> Any:
+            for cond, value in compiled_whens:
+                if cond(row, params) is True:
+                    return value(row, params)
+            if otherwise is not None:
+                return otherwise(row, params)
+            return None
+        return eval_case
+
+    if isinstance(expr, Extract):
+        inner = compile_expr(expr.arg, layout)
+        part = expr.part
+
+        def eval_extract(row: tuple, params: Mapping[str, Any]) -> Any:
+            value = inner(row, params)
+            if value is None:
+                return None
+            return getattr(value, part)
+        return eval_extract
+
+    if isinstance(expr, Like):
+        inner = compile_expr(expr.arg, layout)
+        pattern = expr.pattern
+        negated = expr.negated
+
+        def eval_like(row: tuple, params: Mapping[int, Any]) -> Any:
+            value = inner(row, params)
+            if value is None:
+                return None
+            matched = like_match(pattern, value)
+            return not matched if negated else matched
+        return eval_like
+
+    if isinstance(expr, InList):
+        inner = compile_expr(expr.arg, layout)
+        values = expr.values
+        has_null = any(v is None for v in values)
+        non_null = frozenset(v for v in values if v is not None)
+        negated = expr.negated
+
+        def eval_in(row: tuple, params: Mapping[int, Any]) -> Any:
+            value = inner(row, params)
+            if value is None:
+                return None
+            result: Any
+            if value in non_null:
+                result = True
+            elif has_null:
+                result = None
+            else:
+                result = False
+            return sql_not(result) if negated else result
+        return eval_in
+
+    if isinstance(expr, AggregateCall):
+        raise ExecutionError(
+            "aggregate call cannot be compiled as a row expression")
+
+    raise ExecutionError(
+        f"cannot compile {type(expr).__name__}; physical plans must be "
+        f"normalized (no embedded subqueries)")
+
+
+def build_layout(columns) -> dict[int, int]:
+    """Column id → tuple position for an operator's output."""
+    return {c.cid: i for i, c in enumerate(columns)}

@@ -1,0 +1,14 @@
+"""Physical plan operators produced by the cost-based optimizer."""
+
+from .plan import (PConstantScan, PDifference, PFilter, PHashAggregate,
+                   PHashJoin, PIndexSeek, PMax1row, PNestedLoopsJoin,
+                   PNLApply, PProject, PScalarAggregate, PSegmentApply,
+                   PSegmentRef, PSort, PStreamAggregate, PTableScan, PTop,
+                   PTopN, PUnionAll, PhysicalOp, explain_physical)
+
+__all__ = ["PConstantScan", "PDifference", "PFilter", "PHashAggregate",
+           "PHashJoin", "PIndexSeek", "PMax1row", "PNLApply",
+           "PNestedLoopsJoin", "PProject", "PScalarAggregate",
+           "PSegmentApply", "PSegmentRef", "PSort", "PStreamAggregate",
+           "PTableScan", "PTop", "PTopN", "PUnionAll", "PhysicalOp",
+           "explain_physical"]

@@ -1,0 +1,462 @@
+"""Physical operator trees.
+
+The cost-based optimizer's output: each node records an *implementation
+choice* for a logical operator.  Rows at execution are Python tuples whose
+layout is given by each node's ``columns`` list.
+
+Operators mirror a classic executor menu: table scan, index seek (the
+paper's "index-lookup-join" when placed under a nested-loops Apply),
+filter, compute-scalar, hash join for all join variants, nested-loops
+join/apply, hash aggregation (scalar/vector/local), sort, top, union-all,
+difference, max1row, and segmented execution for ``SegmentApply``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..algebra.aggregates import AggregateFunction
+from ..algebra.columns import Column
+from ..algebra.relational import JoinKind
+from ..algebra.scalar import AggregateCall, ScalarExpr
+
+
+class PhysicalOp:
+    """Base class of physical operators."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        self.columns = list(columns)
+
+    @property
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return explain_physical(self)
+
+
+def explain_physical(plan: PhysicalOp) -> str:
+    lines: list[str] = []
+
+    def render(node: PhysicalOp, depth: int) -> None:
+        lines.append("  " * depth + node.label())
+        for child in node.children:
+            render(child, depth + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)
+
+
+class PTableScan(PhysicalOp):
+    """Full scan of a stored table."""
+
+    __slots__ = ("table_name",)
+
+    def __init__(self, table_name: str, columns: Sequence[Column]) -> None:
+        super().__init__(columns)
+        self.table_name = table_name
+
+    def label(self) -> str:
+        return f"TableScan({self.table_name})"
+
+
+class PIndexSeek(PhysicalOp):
+    """Equality lookup into a table index.
+
+    ``key_columns`` name the indexed stored columns (by output column) and
+    ``key_exprs`` compute the probe values — typically references to outer
+    parameters, making this the inner side of an index-lookup join.
+    ``residual`` filters the fetched rows.
+    """
+
+    __slots__ = ("table_name", "key_columns", "key_exprs", "residual")
+
+    def __init__(self, table_name: str, columns: Sequence[Column],
+                 key_columns: Sequence[Column],
+                 key_exprs: Sequence[ScalarExpr],
+                 residual: Optional[ScalarExpr] = None) -> None:
+        super().__init__(columns)
+        self.table_name = table_name
+        self.key_columns = list(key_columns)
+        self.key_exprs = list(key_exprs)
+        self.residual = residual
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{c!r}={e.sql()}" for c, e in zip(self.key_columns,
+                                               self.key_exprs))
+        residual = f", residual {self.residual.sql()}" if self.residual else ""
+        return f"IndexSeek({self.table_name}; {keys}{residual})"
+
+
+class PConstantScan(PhysicalOp):
+    __slots__ = ("rows",)
+
+    def __init__(self, columns: Sequence[Column],
+                 rows: Sequence[tuple]) -> None:
+        super().__init__(columns)
+        self.rows = [tuple(r) for r in rows]
+
+    def label(self) -> str:
+        return f"ConstantScan({len(self.rows)} rows)"
+
+
+class PSegmentRef(PhysicalOp):
+    """Reads the current segment bound by an enclosing PSegmentApply."""
+
+    def label(self) -> str:
+        return "SegmentRef"
+
+
+class PFilter(PhysicalOp):
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PhysicalOp, predicate: ScalarExpr) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.sql()})"
+
+
+class PProject(PhysicalOp):
+    __slots__ = ("child", "items")
+
+    def __init__(self, child: PhysicalOp,
+                 items: Sequence[tuple[Column, ScalarExpr]]) -> None:
+        super().__init__([c for c, _ in items])
+        self.child = child
+        self.items = [(c, e) for c, e in items]
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"ComputeScalar({len(self.items)} columns)"
+
+
+class PHashJoin(PhysicalOp):
+    """Hash join on equality keys, all left-join variants.
+
+    Builds on the right input, probes with the left.  ``residual`` holds
+    non-equality conjuncts evaluated on each candidate pair.
+    """
+
+    __slots__ = ("kind", "left", "right", "left_keys", "right_keys",
+                 "residual")
+
+    def __init__(self, kind: JoinKind, left: PhysicalOp, right: PhysicalOp,
+                 left_keys: Sequence[ScalarExpr],
+                 right_keys: Sequence[ScalarExpr],
+                 residual: Optional[ScalarExpr] = None) -> None:
+        columns = list(left.columns)
+        if not kind.left_only_output:
+            right_cols = right.columns
+            if kind is JoinKind.LEFT_OUTER:
+                right_cols = [c.with_nullability(True) for c in right_cols]
+            columns = columns + list(right_cols)
+        super().__init__(columns)
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{l.sql()}={r.sql()}"
+                         for l, r in zip(self.left_keys, self.right_keys))
+        residual = f", residual {self.residual.sql()}" if self.residual else ""
+        return f"HashJoin[{self.kind.value}]({keys}{residual})"
+
+
+class PNestedLoopsJoin(PhysicalOp):
+    """Nested loops over an *uncorrelated* right side (materialized once)."""
+
+    __slots__ = ("kind", "left", "right", "predicate")
+
+    def __init__(self, kind: JoinKind, left: PhysicalOp, right: PhysicalOp,
+                 predicate: Optional[ScalarExpr] = None) -> None:
+        columns = list(left.columns)
+        if not kind.left_only_output:
+            right_cols = right.columns
+            if kind is JoinKind.LEFT_OUTER:
+                right_cols = [c.with_nullability(True) for c in right_cols]
+            columns = columns + list(right_cols)
+        super().__init__(columns)
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        pred = self.predicate.sql() if self.predicate else "true"
+        return f"NestedLoops[{self.kind.value}]({pred})"
+
+
+class PNLApply(PhysicalOp):
+    """Correlated nested loops: the right side re-executes per left row
+    with the left row's columns bound as parameters — the physical form of
+    the ``Apply`` operator (and of re-introduced correlated execution such
+    as index-lookup joins).
+
+    ``guard`` (LEFT_OUTER only) skips the inner side entirely for rows
+    where it is not TRUE, NULL-padding instead (conditional scalar
+    execution, paper Section 2.4).
+    """
+
+    __slots__ = ("kind", "left", "right", "predicate", "guard")
+
+    def __init__(self, kind: JoinKind, left: PhysicalOp, right: PhysicalOp,
+                 predicate: Optional[ScalarExpr] = None,
+                 guard: Optional[ScalarExpr] = None) -> None:
+        columns = list(left.columns)
+        if not kind.left_only_output:
+            right_cols = right.columns
+            if kind is JoinKind.LEFT_OUTER:
+                right_cols = [c.with_nullability(True) for c in right_cols]
+            columns = columns + list(right_cols)
+        super().__init__(columns)
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.guard = guard
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        pred = f"({self.predicate.sql()})" if self.predicate else ""
+        guard = f" when {self.guard.sql()}" if self.guard else ""
+        return f"NLApply[{self.kind.value}]{pred}{guard}"
+
+
+class PHashAggregate(PhysicalOp):
+    """Hash-based vector aggregation (also used for LocalGroupBy)."""
+
+    __slots__ = ("child", "group_columns", "aggregates", "is_local")
+
+    def __init__(self, child: PhysicalOp, group_columns: Sequence[Column],
+                 aggregates: Sequence[tuple[Column, AggregateCall]],
+                 is_local: bool = False) -> None:
+        super().__init__(list(group_columns) + [c for c, _ in aggregates])
+        self.child = child
+        self.group_columns = list(group_columns)
+        self.aggregates = [(c, a) for c, a in aggregates]
+        self.is_local = is_local
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        prefix = "LocalHashAggregate" if self.is_local else "HashAggregate"
+        groups = ", ".join(repr(c) for c in self.group_columns)
+        aggs = ", ".join(f"{c!r}:={a.sql()}" for c, a in self.aggregates)
+        return f"{prefix}([{groups}], {aggs})"
+
+
+class PStreamAggregate(PhysicalOp):
+    """Group-wise aggregation over input sorted on the grouping columns."""
+
+    __slots__ = ("child", "group_columns", "aggregates")
+
+    def __init__(self, child: PhysicalOp, group_columns: Sequence[Column],
+                 aggregates: Sequence[tuple[Column, AggregateCall]]) -> None:
+        super().__init__(list(group_columns) + [c for c, _ in aggregates])
+        self.child = child
+        self.group_columns = list(group_columns)
+        self.aggregates = [(c, a) for c, a in aggregates]
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        groups = ", ".join(repr(c) for c in self.group_columns)
+        return f"StreamAggregate([{groups}])"
+
+
+class PScalarAggregate(PhysicalOp):
+    """Scalar aggregation: exactly one output row."""
+
+    __slots__ = ("child", "aggregates")
+
+    def __init__(self, child: PhysicalOp,
+                 aggregates: Sequence[tuple[Column, AggregateCall]]) -> None:
+        super().__init__([c for c, _ in aggregates])
+        self.child = child
+        self.aggregates = [(c, a) for c, a in aggregates]
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        aggs = ", ".join(f"{c!r}:={a.sql()}" for c, a in self.aggregates)
+        return f"ScalarAggregate({aggs})"
+
+
+class PSort(PhysicalOp):
+    __slots__ = ("child", "keys")
+
+    def __init__(self, child: PhysicalOp,
+                 keys: Sequence[tuple[ScalarExpr, bool]]) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        self.keys = [(e, bool(asc)) for e, asc in keys]
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{e.sql()} {'asc' if asc else 'desc'}"
+                         for e, asc in self.keys)
+        return f"Sort({keys})"
+
+
+class PTop(PhysicalOp):
+    __slots__ = ("child", "count", "offset")
+
+    def __init__(self, child: PhysicalOp, count: int,
+                 offset: int = 0) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        self.count = count
+        self.offset = offset
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        suffix = f", offset {self.offset}" if self.offset else ""
+        return f"Top({self.count}{suffix})"
+
+
+class PTopN(PhysicalOp):
+    """Order-aware limit: keeps only the best ``count + offset`` rows in a
+    bounded heap instead of sorting the whole input — the classic Top-N
+    optimization for ``ORDER BY ... LIMIT``."""
+
+    __slots__ = ("child", "keys", "count", "offset")
+
+    def __init__(self, child: PhysicalOp,
+                 keys: Sequence[tuple[ScalarExpr, bool]],
+                 count: int, offset: int = 0) -> None:
+        super().__init__(child.columns)
+        self.child = child
+        self.keys = [(e, bool(asc)) for e, asc in keys]
+        self.count = count
+        self.offset = offset
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{e.sql()} {'asc' if asc else 'desc'}"
+                         for e, asc in self.keys)
+        suffix = f", offset {self.offset}" if self.offset else ""
+        return f"TopN({self.count}{suffix}; {keys})"
+
+
+class PMax1row(PhysicalOp):
+    __slots__ = ("child",)
+
+    def __init__(self, child: PhysicalOp) -> None:
+        super().__init__(child.columns)
+        self.child = child
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Max1row"
+
+
+class PUnionAll(PhysicalOp):
+    __slots__ = ("inputs", "input_maps")
+
+    def __init__(self, inputs: Sequence[PhysicalOp],
+                 columns: Sequence[Column],
+                 input_maps: Sequence[Sequence[Column]]) -> None:
+        super().__init__(columns)
+        self.inputs = list(inputs)
+        self.input_maps = [list(m) for m in input_maps]
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return tuple(self.inputs)
+
+    def label(self) -> str:
+        return f"Concat({len(self.inputs)} inputs)"
+
+
+class PDifference(PhysicalOp):
+    __slots__ = ("left", "right", "left_map", "right_map")
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp,
+                 columns: Sequence[Column],
+                 left_map: Sequence[Column],
+                 right_map: Sequence[Column]) -> None:
+        super().__init__(columns)
+        self.left = left
+        self.right = right
+        self.left_map = list(left_map)
+        self.right_map = list(right_map)
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "HashDifference"
+
+
+class PSegmentApply(PhysicalOp):
+    """Segmented execution: hash-partition the left input on the segment
+    columns, then execute the right plan once per segment with its
+    PSegmentRef leaves bound to the segment's rows."""
+
+    __slots__ = ("left", "right", "segment_columns", "inner_columns")
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp,
+                 segment_columns: Sequence[Column],
+                 inner_columns: Sequence[Column]) -> None:
+        super().__init__(list(segment_columns) + list(right.columns))
+        self.left = left
+        self.right = right
+        self.segment_columns = list(segment_columns)
+        self.inner_columns = list(inner_columns)
+
+    @property
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        segs = ", ".join(repr(c) for c in self.segment_columns)
+        return f"SegmentApply[{segs}]"

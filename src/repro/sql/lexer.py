@@ -1,0 +1,163 @@
+"""SQL lexer.
+
+Produces a flat token stream with line/column positions for error messages.
+Identifiers and keywords are case-insensitive; string literals use single
+quotes with ``''`` escaping; ``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset("""
+    select from where group by having order asc desc limit distinct
+    as on and or not in exists between like is null case when then else end
+    join inner left right full outer cross union all any some except
+    date interval day month year count sum avg min max true false extract
+""".split())
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "||")
+
+PUNCTUATION = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = text[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+
+        start_column = column()
+
+        if ch == "'":
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError("unterminated string literal",
+                                         line, start_column)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts),
+                                line, start_column))
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Don't swallow "1." followed by an identifier (alias.col
+                    # never follows a number, but stay strict anyway).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j],
+                                line, start_column))
+            i = j
+            continue
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered,
+                                    line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, lowered,
+                                    line, start_column))
+            i = j
+            continue
+
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise SqlSyntaxError("unterminated quoted identifier",
+                                     line, start_column)
+            tokens.append(Token(TokenType.IDENT, text[i + 1:j].lower(),
+                                line, start_column))
+            i = j + 1
+            continue
+
+        matched_operator = None
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                matched_operator = op
+                break
+        if matched_operator:
+            value = "<>" if matched_operator == "!=" else matched_operator
+            tokens.append(Token(TokenType.OPERATOR, value, line, start_column))
+            i += len(matched_operator)
+            continue
+
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, ch, line, start_column))
+            i += 1
+            continue
+
+        raise SqlSyntaxError(f"unexpected character {ch!r}", line, start_column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,524 @@
+"""Recursive-descent SQL parser.
+
+Covers the subset needed by the paper's examples and the targeted TPC-H
+queries: SELECT/FROM/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, explicit joins
+(INNER / LEFT [OUTER] / CROSS), derived tables, UNION ALL, and subqueries in
+every scalar position (scalar, EXISTS, IN, quantified comparisons), plus
+CASE, BETWEEN, LIKE, IS NULL, date/interval literals and arithmetic.
+
+Operator precedence (low to high):
+``OR`` < ``AND`` < ``NOT`` < comparison/IN/BETWEEN/LIKE/IS < ``+ -`` <
+``* /`` < unary minus < primary.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional
+
+from ..errors import SqlSyntaxError
+from .ast import (BetweenExpr, BinaryOp, BooleanLiteral, CaseExpr,
+                  DateLiteral, DerivedTable, ExistsExpr, Expr, ExtractExpr,
+                  FunctionCall, Identifier, InExpr, IntervalLiteral,
+                  IsNullExpr, JoinExpr, LikeExpr, NullLiteral,
+                  NumberLiteral, OrderItem, Query, QuantifiedExpr,
+                  SelectItem, SelectStatement, Star, StringLiteral,
+                  SubqueryExpr, TableExpr, TableRef, UnaryOp,
+                  UnionStatement)
+from .ast import ExceptStatement
+from .lexer import Token, TokenType, tokenize
+
+_AGGREGATE_NAMES = ("count", "sum", "avg", "min", "max")
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def parse(sql: str) -> Query:
+    """Parse one SQL query (SELECT or UNION ALL chain)."""
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.current
+        return SqlSyntaxError(f"{message} (found {token.value!r})",
+                              token.line, token.column)
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.current.matches_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word.upper()}")
+
+    def accept_punct(self, char: str) -> bool:
+        if self.current.type is TokenType.PUNCT and self.current.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise self.error(f"expected {char!r}")
+
+    def accept_operator(self, *ops: str) -> Optional[str]:
+        if (self.current.type is TokenType.OPERATOR
+                and self.current.value in ops):
+            return self.advance().value
+        return None
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+
+    # -- queries ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        left = self._parse_query_term()
+        while self.current.matches_keyword("union", "except"):
+            keyword = self.advance().value
+            if not self.accept_keyword("all"):
+                raise self.error(
+                    f"plain {keyword.upper()} is unsupported; use "
+                    f"{keyword.upper()} ALL (optionally with SELECT "
+                    f"DISTINCT) — the algebra is bag-oriented")
+            right = self._parse_query_term()
+            if keyword == "union":
+                left = UnionStatement(left, right)
+            else:
+                left = ExceptStatement(left, right)
+        return left
+
+    def _parse_query_term(self) -> Query:
+        if self.accept_punct("("):
+            query = self.parse_query()
+            self.expect_punct(")")
+            return query
+        return self.parse_select()
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        self.accept_keyword("all")
+
+        select_items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            select_items.append(self._parse_select_item())
+
+        from_items: list[TableExpr] = []
+        if self.accept_keyword("from"):
+            from_items.append(self._parse_table_expr())
+            while self.accept_punct(","):
+                from_items.append(self._parse_table_expr())
+
+        where = self.parse_expr() if self.accept_keyword("where") else None
+
+        group_by: list[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self.accept_keyword("having") else None
+
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        offset = 0
+        if self.accept_keyword("limit"):
+            limit = self._expect_integer("LIMIT")
+            if self.current.type is TokenType.IDENT \
+                    and self.current.value == "offset":
+                self.advance()
+                offset = self._expect_integer("OFFSET")
+
+        return SelectStatement(
+            select_items=tuple(select_items),
+            distinct=distinct,
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset)
+
+    def _expect_integer(self, context: str) -> int:
+        token = self.current
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise self.error(f"{context} expects an integer")
+        return int(self.advance().value)
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            return SelectItem(Star())
+        # alias.*
+        if (self.current.type is TokenType.IDENT
+                and self.peek().type is TokenType.PUNCT
+                and self.peek().value == "."
+                and self.peek(2).type is TokenType.OPERATOR
+                and self.peek(2).value == "*"):
+            qualifier = self.advance().value
+            self.advance()  # .
+            self.advance()  # *
+            return SelectItem(Star(qualifier))
+        expr = self.parse_expr()
+        alias = self._parse_optional_alias()
+        return SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr, ascending)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("as"):
+            token = self.current
+            if token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise self.error("expected alias after AS")
+            return self.advance().value
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        return None
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _parse_table_expr(self) -> TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            if self.accept_keyword("cross"):
+                self.expect_keyword("join")
+                right = self._parse_table_primary()
+                left = JoinExpr("cross", left, right, None)
+                continue
+            explicit_kind = None
+            if self.current.matches_keyword("inner"):
+                explicit_kind = "inner"
+                self.advance()
+            elif self.current.matches_keyword("left"):
+                explicit_kind = "left"
+                self.advance()
+                self.accept_keyword("outer")
+            elif self.current.matches_keyword("right", "full"):
+                raise self.error("RIGHT/FULL OUTER JOIN is not supported; "
+                                 "rewrite as LEFT OUTER JOIN")
+            if explicit_kind is None and not self.current.matches_keyword("join"):
+                return left
+            self.expect_keyword("join")
+            right = self._parse_table_primary()
+            self.expect_keyword("on")
+            condition = self.parse_expr()
+            left = JoinExpr(explicit_kind or "inner", left, right, condition)
+
+    def _parse_table_primary(self) -> TableExpr:
+        if self.accept_punct("("):
+            if self.current.matches_keyword("select") or self._starts_nested_query():
+                subquery = self.parse_query()
+                self.expect_punct(")")
+                alias = self._parse_optional_alias()
+                if alias is None:
+                    raise self.error("derived table requires an alias")
+                column_aliases = self._parse_optional_column_aliases()
+                return DerivedTable(subquery, alias, column_aliases)
+            # parenthesized join tree
+            inner = self._parse_table_expr()
+            self.expect_punct(")")
+            return inner
+        token = self.current
+        if token.type is not TokenType.IDENT:
+            raise self.error("expected table name")
+        name = self.advance().value
+        alias = self._parse_optional_alias()
+        return TableRef(name, alias)
+
+    def _starts_nested_query(self) -> bool:
+        """After '(', does another '(' chain lead to SELECT?"""
+        offset = 0
+        while self.peek(offset).type is TokenType.PUNCT and \
+                self.peek(offset).value == "(":
+            offset += 1
+        return self.peek(offset).matches_keyword("select")
+
+    def _parse_optional_column_aliases(self) -> Optional[tuple[str, ...]]:
+        if not self.accept_punct("("):
+            return None
+        names = []
+        while True:
+            token = self.current
+            if token.type is not TokenType.IDENT:
+                raise self.error("expected column alias")
+            names.append(self.advance().value)
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return tuple(names)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            right = self._parse_and()
+            left = BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            right = self._parse_not()
+            left = BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        while True:
+            negated = False
+            if self.current.matches_keyword("not"):
+                nxt = self.peek()
+                if nxt.matches_keyword("in", "between", "like"):
+                    self.advance()
+                    negated = True
+                else:
+                    return left
+
+            op = self.accept_operator(*_COMPARISON_OPS)
+            if op is not None:
+                if self.current.matches_keyword("any", "all", "some"):
+                    quantifier = self.advance().value
+                    quantifier = "ANY" if quantifier in ("any", "some") else "ALL"
+                    self.expect_punct("(")
+                    subquery = self.parse_query()
+                    self.expect_punct(")")
+                    left = QuantifiedExpr(op, quantifier, left, subquery)
+                else:
+                    right = self._parse_additive()
+                    left = BinaryOp(op, left, right)
+                continue
+
+            if self.accept_keyword("in"):
+                self.expect_punct("(")
+                if self.current.matches_keyword("select") or self._starts_nested_query():
+                    subquery = self.parse_query()
+                    self.expect_punct(")")
+                    left = InExpr(left, subquery=subquery, negated=negated)
+                else:
+                    values = [self.parse_expr()]
+                    while self.accept_punct(","):
+                        values.append(self.parse_expr())
+                    self.expect_punct(")")
+                    left = InExpr(left, values=tuple(values), negated=negated)
+                continue
+
+            if self.accept_keyword("between"):
+                low = self._parse_additive()
+                self.expect_keyword("and")
+                high = self._parse_additive()
+                left = BetweenExpr(left, low, high, negated)
+                continue
+
+            if self.accept_keyword("like"):
+                pattern = self._parse_additive()
+                left = LikeExpr(left, pattern, negated)
+                continue
+
+            if self.accept_keyword("is"):
+                is_negated = self.accept_keyword("not")
+                self.expect_keyword("null")
+                left = IsNullExpr(left, is_negated)
+                continue
+
+            if negated:
+                raise self.error("expected IN, BETWEEN or LIKE after NOT")
+            return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            right = self._parse_multiplicative()
+            left = BinaryOp(op, left, right)
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            op = self.accept_operator("*", "/")
+            if op is None:
+                return left
+            right = self._parse_unary()
+            left = BinaryOp(op, left, right)
+
+    def _parse_unary(self) -> Expr:
+        if self.accept_operator("-"):
+            return UnaryOp("-", self._parse_unary())
+        if self.accept_operator("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(token.value)
+
+        if token.type is TokenType.STRING:
+            self.advance()
+            return StringLiteral(token.value)
+
+        if token.matches_keyword("null"):
+            self.advance()
+            return NullLiteral()
+
+        if token.matches_keyword("true", "false"):
+            self.advance()
+            return BooleanLiteral(token.value == "true")
+
+        if token.matches_keyword("date"):
+            self.advance()
+            text_token = self.current
+            if text_token.type is not TokenType.STRING:
+                raise self.error("DATE expects a string literal")
+            self.advance()
+            try:
+                datetime.date.fromisoformat(text_token.value)
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"invalid date literal {text_token.value!r}",
+                    text_token.line, text_token.column) from None
+            return DateLiteral(text_token.value)
+
+        if token.matches_keyword("interval"):
+            self.advance()
+            quantity_token = self.current
+            if quantity_token.type is not TokenType.STRING:
+                raise self.error("INTERVAL expects a quoted quantity")
+            self.advance()
+            try:
+                quantity = int(quantity_token.value)
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"invalid interval quantity {quantity_token.value!r}",
+                    quantity_token.line, quantity_token.column) from None
+            if not self.current.matches_keyword("day", "month", "year"):
+                raise self.error("expected DAY, MONTH or YEAR")
+            unit = self.advance().value
+            return IntervalLiteral(quantity, unit)
+
+        if token.matches_keyword("extract"):
+            self.advance()
+            self.expect_punct("(")
+            if not self.current.matches_keyword("year", "month", "day"):
+                raise self.error("EXTRACT supports YEAR, MONTH and DAY")
+            part = self.advance().value
+            self.expect_keyword("from")
+            operand = self.parse_expr()
+            self.expect_punct(")")
+            return ExtractExpr(part, operand)
+
+        if token.matches_keyword("case"):
+            return self._parse_case()
+
+        if token.matches_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            subquery = self.parse_query()
+            self.expect_punct(")")
+            return ExistsExpr(subquery)
+
+        if token.matches_keyword(*_AGGREGATE_NAMES):
+            name = self.advance().value
+            self.expect_punct("(")
+            distinct = self.accept_keyword("distinct")
+            if (name == "count" and self.current.type is TokenType.OPERATOR
+                    and self.current.value == "*"):
+                self.advance()
+                self.expect_punct(")")
+                return FunctionCall("count", (Star(),), distinct)
+            args = [self.parse_expr()]
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+            self.expect_punct(")")
+            return FunctionCall(name, tuple(args), distinct)
+
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self.advance()
+            if self.current.matches_keyword("select") or self._starts_nested_query():
+                subquery = self.parse_query()
+                self.expect_punct(")")
+                return SubqueryExpr(subquery)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+
+        if token.type is TokenType.IDENT:
+            parts = [self.advance().value]
+            while (self.current.type is TokenType.PUNCT
+                   and self.current.value == "."
+                   and self.peek().type is TokenType.IDENT):
+                self.advance()
+                parts.append(self.advance().value)
+            if len(parts) > 2:
+                raise self.error("at most alias.column qualification supported")
+            return Identifier(tuple(parts))
+
+        raise self.error("expected expression")
+
+    def _parse_case(self) -> Expr:
+        self.expect_keyword("case")
+        if not self.current.matches_keyword("when"):
+            raise self.error("only searched CASE (CASE WHEN ...) is supported")
+        whens: list[tuple[Expr, Expr]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            value = self.parse_expr()
+            whens.append((condition, value))
+        otherwise = self.parse_expr() if self.accept_keyword("else") else None
+        self.expect_keyword("end")
+        return CaseExpr(tuple(whens), otherwise)

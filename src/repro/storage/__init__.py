@@ -1,0 +1,6 @@
+"""Storage substrate: in-memory row store with hash and ordered indexes."""
+
+from .index import HashIndex, OrderedIndex
+from .table import Storage, StoredTable
+
+__all__ = ["HashIndex", "OrderedIndex", "Storage", "StoredTable"]

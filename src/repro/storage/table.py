@@ -1,0 +1,158 @@
+"""In-memory row store.
+
+Rows are Python tuples in declaration order.  The store validates types and
+NOT NULL constraints on insert, enforces primary/unique keys through hash
+indexes, and maintains any secondary indexes declared in the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..algebra.datatypes import value_matches_type
+from ..catalog.catalog import IndexDef, TableDef
+from ..catalog.statistics import TableStats, compute_table_stats
+from ..errors import ExecutionError
+
+
+class StoredTable:
+    """Rows plus indexes for one table."""
+
+    def __init__(self, definition: TableDef) -> None:
+        self.definition = definition
+        self.rows: list[tuple] = []
+        self._indexes: dict[str, Any] = {}
+        self._key_indexes: list[Any] = []
+        self._stats_cache: TableStats | None = None
+        from .index import HashIndex  # deferred: keep import graph simple
+        for key in definition.all_keys():
+            positions = [definition.column_index(name) for name in key]
+            self._key_indexes.append(HashIndex(positions))
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        row = self._coerce(values)
+        self._check_types(row)
+        self._check_keys(row)
+        position = len(self.rows)
+        self.rows.append(row)
+        for index in self._key_indexes:
+            index.insert(row, position)
+        for index in self._indexes.values():
+            index.insert(row, position)
+        self._stats_cache = None
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def _coerce(self, values: Sequence[Any] | Mapping[str, Any]) -> tuple:
+        definition = self.definition
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(definition.column_names)
+            if unknown:
+                raise ExecutionError(
+                    f"unknown columns for {definition.name!r}: {sorted(unknown)}")
+            return tuple(values.get(c.name) for c in definition.columns)
+        row = tuple(values)
+        if len(row) != len(definition.columns):
+            raise ExecutionError(
+                f"table {definition.name!r} expects {len(definition.columns)} "
+                f"values, got {len(row)}")
+        return row
+
+    def _check_types(self, row: tuple) -> None:
+        for value, column in zip(row, self.definition.columns):
+            if value is None and not column.nullable:
+                raise ExecutionError(
+                    f"NULL in NOT NULL column {column.name!r} "
+                    f"of table {self.definition.name!r}")
+            if not value_matches_type(value, column.dtype):
+                raise ExecutionError(
+                    f"value {value!r} does not match type {column.dtype} "
+                    f"of column {column.name!r}")
+
+    def _check_keys(self, row: tuple) -> None:
+        for index in self._key_indexes:
+            key = index.key_of(row)
+            if any(part is None for part in key):
+                continue
+            if index.lookup(key):
+                raise ExecutionError(
+                    f"duplicate key {key!r} in table {self.definition.name!r}")
+
+    # -- access -----------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- secondary indexes --------------------------------------------------------
+
+    def add_index(self, index_def: IndexDef) -> None:
+        from .index import HashIndex, OrderedIndex
+
+        positions = [self.definition.column_index(name)
+                     for name in index_def.column_names]
+        index = (HashIndex(positions) if index_def.kind == "hash"
+                 else OrderedIndex(positions))
+        index.rebuild(self.rows)
+        self._indexes[index_def.name.lower()] = index
+
+    def index(self, name: str):
+        return self._indexes.get(name.lower())
+
+    def key_lookup_index(self, column_names: Sequence[str]):
+        """An index (declared key or secondary) exactly on ``column_names``.
+
+        Order-insensitive for hash indexes: equality lookup does not care
+        about column order, so we match as a set and report the index's own
+        column order for key construction.
+        """
+        wanted = [self.definition.column_index(n) for n in column_names]
+        wanted_set = set(wanted)
+        for index in self._key_indexes:
+            if set(index.positions) == wanted_set:
+                return index
+        for index in self._indexes.values():
+            if set(index.positions) == wanted_set:
+                return index
+        return None
+
+    # -- statistics ---------------------------------------------------------------
+
+    def statistics(self) -> TableStats:
+        if self._stats_cache is None:
+            self._stats_cache = compute_table_stats(
+                self.definition.column_names, self.rows)
+        return self._stats_cache
+
+
+class Storage:
+    """All stored tables of one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, StoredTable] = {}
+
+    def create(self, definition: TableDef) -> StoredTable:
+        key = definition.name.lower()
+        if key in self._tables:
+            raise ExecutionError(f"storage for {definition.name!r} exists")
+        table = StoredTable(definition)
+        self._tables[key] = table
+        return table
+
+    def get(self, name: str) -> StoredTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"no storage for table {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)

@@ -1,0 +1,10 @@
+"""TPC-H substrate: schema, dbgen-style generator, and query texts."""
+
+from .datagen import TpchCounts, generate_tpch
+from .loader import dump_tbl, load_tbl
+from .queries import PAPER_HIGHLIGHT, QUERIES, paper_example_formulations
+from .schema import FK_INDEXES, TABLES, create_tpch_schema
+
+__all__ = ["FK_INDEXES", "PAPER_HIGHLIGHT", "QUERIES", "TABLES",
+           "TpchCounts", "create_tpch_schema", "dump_tbl", "generate_tpch",
+           "load_tbl", "paper_example_formulations"]

@@ -1,0 +1,237 @@
+"""dbgen-style TPC-H data generator.
+
+Reproduces the population rules that matter to the plan-choice trade-offs
+in the paper's evaluation: SF-proportional cardinalities (customer 150k·SF,
+orders 10 per customer, ~4 lineitems per order, part 200k·SF, 4 suppliers
+per part), the categorical value domains (25 brands, 40 containers, 150
+types, 5 order priorities), key structure (lineitem part/supplier pairs
+drawn from partsupp), and value ranges (quantities 1–50, dates 1992–1998,
+account balances −999.99..9999.99).
+
+Text columns are generated short — the benchmark exercises the optimizer
+and executor, not string storage.  Determinism: everything derives from a
+seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from ..database import Database
+
+_BASE_DATE = datetime.date(1992, 1, 1)
+_DATE_SPAN_DAYS = (datetime.date(1998, 8, 2) - _BASE_DATE).days
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+             "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+               "5-LOW"]
+_CONTAINER_SIZES = ["SM", "MED", "LG", "JUMBO", "WRAP"]
+_CONTAINER_KINDS = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                    "DRUM"]
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+               "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_NAME_WORDS = ["almond", "antique", "aquamarine", "azure", "beige",
+               "bisque", "black", "blanched", "blue", "blush", "brown",
+               "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+               "coral", "cornflower", "cornsilk", "cream", "cyan", "dark",
+               "deep", "dim", "dodger", "drab", "firebrick", "floral",
+               "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+               "green", "grey", "honeydew", "hot", "hotpink", "indian",
+               "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+               "light", "lime", "linen", "magenta", "maroon", "medium",
+               "metallic", "midnight", "mint", "misty", "moccasin",
+               "navajo", "navy", "olive", "orange", "orchid", "pale",
+               "papaya", "peach", "peru", "pink", "plum", "powder",
+               "puff", "purple", "red", "rose", "rosy", "royal", "saddle",
+               "salmon", "sandy", "seashell", "sienna", "sky", "slate",
+               "smoke", "snow", "spring", "steel", "tan", "thistle",
+               "tomato", "turquoise", "violet", "wheat", "white", "yellow"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+              "TAKE BACK RETURN"]
+
+
+@dataclass
+class TpchCounts:
+    """Row counts produced for one scale factor."""
+
+    region: int
+    nation: int
+    supplier: int
+    customer: int
+    part: int
+    partsupp: int
+    orders: int
+    lineitem: int
+
+
+def generate_tpch(db: Database, scale_factor: float = 0.01,
+                  seed: int = 20010521) -> TpchCounts:
+    """Populate a TPC-H schema at the given scale factor.
+
+    SF 1.0 would be the standard 150k customers / 6M lineitems; this pure
+    Python engine targets SF ≤ 0.1.  Returns the actual row counts.
+    """
+    rng = random.Random(seed)
+
+    supplier_count = max(int(10000 * scale_factor), 10)
+    customer_count = max(int(150000 * scale_factor), 30)
+    part_count = max(int(200000 * scale_factor), 40)
+    order_count = customer_count * 10
+
+    db.insert("region", [(i, name, "") for i, name in enumerate(_REGIONS)])
+    db.insert("nation", [(i, name, region, "")
+                         for i, (name, region) in enumerate(_NATIONS)])
+
+    def supplier_comment() -> str:
+        # dbgen plants "Customer ... Complaints" in a few supplier
+        # comments — TPC-H Q16's NOT IN subquery needle.
+        if rng.random() < 0.05:
+            return f"{rng.choice(_NAME_WORDS)} Customer " \
+                   f"{rng.choice(_NAME_WORDS)} Complaints"
+        return ""
+
+    db.insert("supplier", (
+        (k,
+         f"Supplier#{k:09d}",
+         _address(rng),
+         rng.randrange(25),
+         _phone(rng),
+         _balance(rng),
+         supplier_comment())
+        for k in range(1, supplier_count + 1)))
+
+    db.insert("customer", (
+        (k,
+         f"Customer#{k:09d}",
+         _address(rng),
+         rng.randrange(25),
+         _phone(rng),
+         _balance(rng),
+         rng.choice(_SEGMENTS),
+         "")
+        for k in range(1, customer_count + 1)))
+
+    retail_prices = {}
+    part_rows = []
+    for k in range(1, part_count + 1):
+        retail = round((90000 + (k % 200001) / 10.0 + 100 * (k % 1000))
+                       / 100.0, 2)
+        retail_prices[k] = retail
+        part_rows.append((
+            k,
+            " ".join(rng.sample(_NAME_WORDS, 5)),
+            f"Manufacturer#{rng.randint(1, 5)}",
+            f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            f"{rng.choice(_TYPE_SYLL1)} {rng.choice(_TYPE_SYLL2)} "
+            f"{rng.choice(_TYPE_SYLL3)}",
+            rng.randint(1, 50),
+            f"{rng.choice(_CONTAINER_SIZES)} {rng.choice(_CONTAINER_KINDS)}",
+            retail,
+            ""))
+    db.insert("part", part_rows)
+
+    # 4 suppliers per part, dbgen's arithmetic progression.
+    partsupp_rows = []
+    suppliers_of: dict[int, list[int]] = {}
+    for pk in range(1, part_count + 1):
+        supps = []
+        for i in range(4):
+            sk = ((pk + i * ((supplier_count // 4) + 1)) % supplier_count) + 1
+            supps.append(sk)
+            partsupp_rows.append((
+                pk, sk, rng.randint(1, 9999),
+                round(rng.uniform(1.0, 1000.0), 2), ""))
+        suppliers_of[pk] = supps
+    db.insert("partsupp", partsupp_rows)
+
+    order_rows = []
+    lineitem_rows = []
+    lineitem_count = 0
+    order_key = 0
+    for _ in range(order_count):
+        order_key += 1
+        # dbgen rule: a third of customers never place orders (custkeys
+        # divisible by three are skipped) — this is what gives TPC-H Q22
+        # its non-empty anti-join result.
+        while True:
+            custkey = rng.randint(1, customer_count)
+            if custkey % 3 != 0:
+                break
+        orderdate = _BASE_DATE + datetime.timedelta(
+            days=rng.randrange(_DATE_SPAN_DAYS - 151))
+        line_count = rng.randint(1, 7)
+        total = 0.0
+        for line_number in range(1, line_count + 1):
+            partkey = rng.randint(1, part_count)
+            suppkey = rng.choice(suppliers_of[partkey])
+            quantity = float(rng.randint(1, 50))
+            extended = round(quantity * retail_prices[partkey], 2)
+            discount = rng.randint(0, 10) / 100.0
+            tax = rng.randint(0, 8) / 100.0
+            shipdate = orderdate + datetime.timedelta(
+                days=rng.randint(1, 121))
+            commitdate = orderdate + datetime.timedelta(
+                days=rng.randint(30, 90))
+            receiptdate = shipdate + datetime.timedelta(
+                days=rng.randint(1, 30))
+            returnflag = (rng.choice("RA")
+                          if receiptdate <= datetime.date(1995, 6, 17)
+                          else "N")
+            linestatus = "F" if shipdate <= datetime.date(1995, 6, 17) \
+                else "O"
+            lineitem_rows.append((
+                order_key, partkey, suppkey, line_number, quantity,
+                extended, discount, tax, returnflag, linestatus,
+                shipdate, commitdate, receiptdate,
+                rng.choice(_INSTRUCTS), rng.choice(_SHIPMODES), ""))
+            total += extended * (1 + tax) * (1 - discount)
+            lineitem_count += 1
+        # dbgen plants "special ... requests" in a small fraction of order
+        # comments — the needle TPC-H Q13's NOT LIKE filter looks for.
+        comment = ""
+        if rng.random() < 0.02:
+            comment = f"{rng.choice(_NAME_WORDS)} special " \
+                      f"{rng.choice(_NAME_WORDS)} requests"
+        order_rows.append((
+            order_key, custkey,
+            "F" if orderdate < datetime.date(1995, 6, 17) else "O",
+            round(total, 2), orderdate, rng.choice(_PRIORITIES),
+            f"Clerk#{rng.randint(1, max(supplier_count, 1)):09d}", 0,
+            comment))
+    db.insert("orders", order_rows)
+    db.insert("lineitem", lineitem_rows)
+
+    return TpchCounts(
+        region=len(_REGIONS), nation=len(_NATIONS),
+        supplier=supplier_count, customer=customer_count,
+        part=part_count, partsupp=len(partsupp_rows),
+        orders=order_count, lineitem=lineitem_count)
+
+
+def _address(rng: random.Random) -> str:
+    return f"{rng.randint(1, 999)} {rng.choice(_NAME_WORDS)} st"
+
+
+def _phone(rng: random.Random) -> str:
+    return (f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+            f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}")
+
+
+def _balance(rng: random.Random) -> float:
+    return round(rng.uniform(-999.99, 9999.99), 2)

@@ -1,0 +1,94 @@
+"""TPC-H schema (the paper's evaluation workload).
+
+All eight tables with their standard columns (comment fields carried but
+kept short by the generator), primary keys, and the index set TPC-H
+permits: primary keys plus foreign-key columns.  The paper notes "TPC-H
+has strict rules on what indices are allowed, reducing the relative impact
+of physical database design" — we declare exactly the key/FK indexes.
+"""
+
+from __future__ import annotations
+
+from ..algebra import DataType
+from ..database import Database
+
+I = DataType.INTEGER
+F = DataType.FLOAT
+S = DataType.VARCHAR
+D = DataType.DATE
+
+
+TABLES = {
+    "region": dict(
+        columns=[("r_regionkey", I, False), ("r_name", S, False),
+                 ("r_comment", S, True)],
+        primary_key=("r_regionkey",)),
+    "nation": dict(
+        columns=[("n_nationkey", I, False), ("n_name", S, False),
+                 ("n_regionkey", I, False), ("n_comment", S, True)],
+        primary_key=("n_nationkey",)),
+    "supplier": dict(
+        columns=[("s_suppkey", I, False), ("s_name", S, False),
+                 ("s_address", S, False), ("s_nationkey", I, False),
+                 ("s_phone", S, False), ("s_acctbal", F, False),
+                 ("s_comment", S, True)],
+        primary_key=("s_suppkey",)),
+    "customer": dict(
+        columns=[("c_custkey", I, False), ("c_name", S, False),
+                 ("c_address", S, False), ("c_nationkey", I, False),
+                 ("c_phone", S, False), ("c_acctbal", F, False),
+                 ("c_mktsegment", S, False), ("c_comment", S, True)],
+        primary_key=("c_custkey",)),
+    "part": dict(
+        columns=[("p_partkey", I, False), ("p_name", S, False),
+                 ("p_mfgr", S, False), ("p_brand", S, False),
+                 ("p_type", S, False), ("p_size", I, False),
+                 ("p_container", S, False), ("p_retailprice", F, False),
+                 ("p_comment", S, True)],
+        primary_key=("p_partkey",)),
+    "partsupp": dict(
+        columns=[("ps_partkey", I, False), ("ps_suppkey", I, False),
+                 ("ps_availqty", I, False), ("ps_supplycost", F, False),
+                 ("ps_comment", S, True)],
+        primary_key=("ps_partkey", "ps_suppkey")),
+    "orders": dict(
+        columns=[("o_orderkey", I, False), ("o_custkey", I, False),
+                 ("o_orderstatus", S, False), ("o_totalprice", F, False),
+                 ("o_orderdate", D, False), ("o_orderpriority", S, False),
+                 ("o_clerk", S, False), ("o_shippriority", I, False),
+                 ("o_comment", S, True)],
+        primary_key=("o_orderkey",)),
+    "lineitem": dict(
+        columns=[("l_orderkey", I, False), ("l_partkey", I, False),
+                 ("l_suppkey", I, False), ("l_linenumber", I, False),
+                 ("l_quantity", F, False), ("l_extendedprice", F, False),
+                 ("l_discount", F, False), ("l_tax", F, False),
+                 ("l_returnflag", S, False), ("l_linestatus", S, False),
+                 ("l_shipdate", D, False), ("l_commitdate", D, False),
+                 ("l_receiptdate", D, False), ("l_shipinstruct", S, False),
+                 ("l_shipmode", S, False), ("l_comment", S, True)],
+        primary_key=("l_orderkey", "l_linenumber")),
+}
+
+#: Foreign-key indexes TPC-H implementations typically declare.
+FK_INDEXES = [
+    ("ix_nation_region", "nation", ("n_regionkey",)),
+    ("ix_supplier_nation", "supplier", ("s_nationkey",)),
+    ("ix_customer_nation", "customer", ("c_nationkey",)),
+    ("ix_partsupp_supp", "partsupp", ("ps_suppkey",)),
+    ("ix_orders_cust", "orders", ("o_custkey",)),
+    ("ix_lineitem_part", "lineitem", ("l_partkey",)),
+    ("ix_lineitem_supp", "lineitem", ("l_suppkey",)),
+    ("ix_lineitem_order", "lineitem", ("l_orderkey",)),
+    ("ix_lineitem_partsupp", "lineitem", ("l_partkey", "l_suppkey")),
+]
+
+
+def create_tpch_schema(db: Database, with_indexes: bool = True) -> None:
+    """Create the eight TPC-H tables (and FK indexes) in ``db``."""
+    for name, spec in TABLES.items():
+        db.create_table(name, spec["columns"],
+                        primary_key=spec["primary_key"])
+    if with_indexes:
+        for index_name, table_name, columns in FK_INDEXES:
+            db.create_index(index_name, table_name, columns)

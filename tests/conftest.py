@@ -1,0 +1,69 @@
+"""Shared pytest fixtures: a miniature TPC-H-shaped catalog and database."""
+
+import pytest
+
+from repro.algebra import DataType
+from repro.catalog import Catalog, ColumnDef, TableDef
+
+
+def build_mini_catalog() -> Catalog:
+    """customer / orders / lineitem / part / supplier / partsupp subset."""
+    catalog = Catalog()
+    catalog.create_table(TableDef(
+        "customer",
+        [ColumnDef("c_custkey", DataType.INTEGER, False),
+         ColumnDef("c_name", DataType.VARCHAR, False),
+         ColumnDef("c_nationkey", DataType.INTEGER, False),
+         ColumnDef("c_acctbal", DataType.FLOAT, False)],
+        primary_key=("c_custkey",)))
+    catalog.create_table(TableDef(
+        "orders",
+        [ColumnDef("o_orderkey", DataType.INTEGER, False),
+         ColumnDef("o_custkey", DataType.INTEGER, False),
+         ColumnDef("o_totalprice", DataType.FLOAT, False),
+         ColumnDef("o_orderdate", DataType.DATE, False),
+         ColumnDef("o_orderpriority", DataType.VARCHAR, False)],
+        primary_key=("o_orderkey",)))
+    catalog.create_table(TableDef(
+        "lineitem",
+        [ColumnDef("l_orderkey", DataType.INTEGER, False),
+         ColumnDef("l_partkey", DataType.INTEGER, False),
+         ColumnDef("l_suppkey", DataType.INTEGER, False),
+         ColumnDef("l_linenumber", DataType.INTEGER, False),
+         ColumnDef("l_quantity", DataType.FLOAT, False),
+         ColumnDef("l_extendedprice", DataType.FLOAT, False)],
+        primary_key=("l_orderkey", "l_linenumber")))
+    catalog.create_table(TableDef(
+        "part",
+        [ColumnDef("p_partkey", DataType.INTEGER, False),
+         ColumnDef("p_name", DataType.VARCHAR, False),
+         ColumnDef("p_brand", DataType.VARCHAR, False),
+         ColumnDef("p_container", DataType.VARCHAR, False),
+         ColumnDef("p_retailprice", DataType.FLOAT, False)],
+        primary_key=("p_partkey",)))
+    catalog.create_table(TableDef(
+        "supplier",
+        [ColumnDef("s_suppkey", DataType.INTEGER, False),
+         ColumnDef("s_name", DataType.VARCHAR, False),
+         ColumnDef("s_acctbal", DataType.FLOAT, False)],
+        primary_key=("s_suppkey",)))
+    catalog.create_table(TableDef(
+        "partsupp",
+        [ColumnDef("ps_partkey", DataType.INTEGER, False),
+         ColumnDef("ps_suppkey", DataType.INTEGER, False),
+         ColumnDef("ps_supplycost", DataType.FLOAT, False),
+         ColumnDef("ps_availqty", DataType.INTEGER, False)],
+        primary_key=("ps_partkey", "ps_suppkey")))
+    # A table with nullable columns for NULL-semantics tests.
+    catalog.create_table(TableDef(
+        "nully",
+        [ColumnDef("n_id", DataType.INTEGER, False),
+         ColumnDef("n_a", DataType.INTEGER, True),
+         ColumnDef("n_b", DataType.INTEGER, True)],
+        primary_key=("n_id",)))
+    return catalog
+
+
+@pytest.fixture
+def mini_catalog() -> Catalog:
+    return build_mini_catalog()

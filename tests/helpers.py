@@ -1,0 +1,22 @@
+"""Shared fixtures/builders for tests: tiny schemas and operator trees."""
+
+from repro.algebra import (Column, ColumnRef, Comparison, DataType, Get,
+                           Literal, equals)
+
+
+def customer_scan():
+    """A Get over a customer(c_custkey PK, c_name, c_nationkey) table."""
+    c_custkey = Column("c_custkey", DataType.INTEGER, nullable=False)
+    c_name = Column("c_name", DataType.VARCHAR, nullable=False)
+    c_nationkey = Column("c_nationkey", DataType.INTEGER, nullable=True)
+    get = Get("customer", [c_custkey, c_name, c_nationkey], [[c_custkey]])
+    return get, (c_custkey, c_name, c_nationkey)
+
+
+def orders_scan():
+    """A Get over orders(o_orderkey PK, o_custkey, o_totalprice)."""
+    o_orderkey = Column("o_orderkey", DataType.INTEGER, nullable=False)
+    o_custkey = Column("o_custkey", DataType.INTEGER, nullable=False)
+    o_totalprice = Column("o_totalprice", DataType.FLOAT, nullable=False)
+    get = Get("orders", [o_orderkey, o_custkey, o_totalprice], [[o_orderkey]])
+    return get, (o_orderkey, o_custkey, o_totalprice)

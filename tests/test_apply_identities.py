@@ -1,0 +1,315 @@
+"""The nine Apply-removal identities of paper Figure 4, one by one.
+
+Each test builds the identity's left-hand side directly in the algebra,
+runs one step of Apply removal, checks the rewritten shape, and verifies
+semantic equivalence on data through the naive interpreter (including the
+empty-input and NULL edge cases each identity is sensitive to).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.algebra import (AggregateCall, AggregateFunction, Apply, Column,
+                           ColumnRef, Comparison, DataType, Difference,
+                           Get, GroupBy, Join, JoinKind, Literal,
+                           Max1row, Project, ScalarGroupBy, Select,
+                           UnionAll, collect_nodes, equals)
+from repro.core.normalize import ApplyRemovalConfig, remove_applies
+from repro.executor import NaiveInterpreter
+
+R_ROWS = [(1, 10), (2, 20), (3, 30), (5, 50)]       # rk is the key
+E_ROWS = [(1, 5.0), (1, 7.0), (2, None), (4, 9.0)]  # NULL value, no key 3/5
+
+
+def run(tree, data=None):
+    data = data or {"r": R_ROWS, "e": E_ROWS}
+    return Counter(NaiveInterpreter(lambda name: data[name]).run(tree))
+
+
+def make_r(with_key=True):
+    rk = Column("rk", DataType.INTEGER, nullable=False)
+    rv = Column("rv", DataType.INTEGER, nullable=False)
+    keys = [[rk]] if with_key else []
+    return Get("r", [rk, rv], keys), rk, rv
+
+
+def make_e():
+    ek = Column("ek", DataType.INTEGER, nullable=False)
+    ev = Column("ev", DataType.FLOAT, nullable=True)
+    return Get("e", [ek, ev], []), ek, ev
+
+
+def decorrelate(tree, class2=False):
+    return remove_applies(tree, ApplyRemovalConfig(class2_rewrites=class2))
+
+
+def no_applies(tree):
+    return not collect_nodes(tree, lambda n: isinstance(n, Apply))
+
+
+class TestIdentity1And2:
+    def test_identity1_uncorrelated_apply_is_join(self):
+        """R A⊗ E = R ⊗true E when E has no parameters from R."""
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        for kind in (JoinKind.INNER, JoinKind.LEFT_OUTER,
+                     JoinKind.LEFT_SEMI, JoinKind.LEFT_ANTI):
+            tree = Apply(kind, r, e)
+            rewritten = decorrelate(tree)
+            assert no_applies(rewritten)
+            joins = collect_nodes(rewritten, lambda n: isinstance(n, Join))
+            assert joins[0].kind is kind
+            assert run(rewritten) == run(tree)
+
+    def test_identity2_select_becomes_join_predicate(self):
+        """R A⊗ (σp E) = R ⊗p E when only p is parameterized."""
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        for kind in (JoinKind.INNER, JoinKind.LEFT_OUTER,
+                     JoinKind.LEFT_SEMI, JoinKind.LEFT_ANTI):
+            tree = Apply(kind, r, Select(e, equals(ek, rk)))
+            rewritten = decorrelate(tree)
+            assert no_applies(rewritten)
+            (join,) = collect_nodes(rewritten, lambda n: isinstance(n, Join))
+            assert join.kind is kind
+            assert join.predicate is not None
+            assert run(rewritten) == run(tree)
+
+
+class TestIdentity3And4:
+    def test_identity3_filter_above_apply(self):
+        """A parameterized select folds through; a residual uncorrelated
+        branch may stay above — semantics must hold either way."""
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        pred = Comparison(">", ColumnRef(ev), Literal(5.0))
+        inner = Select(Select(e, equals(ek, rk)), pred)
+        tree = Apply(JoinKind.INNER, r, inner)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        assert run(rewritten) == run(tree)
+
+    def test_identity4_project_pulled_above(self):
+        """R A× (πv E) = π(v ∪ columns(R)) (R A× E)."""
+        from repro.algebra import Arithmetic
+
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        doubled = Column("doubled", DataType.FLOAT)
+        projected = Project.extend(Select(e, equals(ek, rk)),
+                                   [(doubled, Arithmetic(
+                                       "*", ColumnRef(ev), Literal(2.0)))])
+        tree = Apply(JoinKind.INNER, r, projected)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        assert isinstance(rewritten, Project) or collect_nodes(
+            rewritten, lambda n: isinstance(n, Project))
+        assert run(rewritten) == run(tree)
+
+    def test_identity4_left_outer_literal_item_guarded(self):
+        """Pushing a non-strict projection item (a literal) through an
+        outer Apply must guard it so padding stays NULL."""
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        marker = Column("marker", DataType.INTEGER)
+        projected = Project.extend(Select(e, equals(ek, rk)),
+                                   [(marker, Literal(1))])
+        tree = Apply(JoinKind.LEFT_OUTER, r, projected)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        assert run(rewritten) == run(tree)
+        # row rk=3 has no matches: its marker must be NULL, not 1
+        marker_at = [c.cid for c in rewritten.output_columns()].index(
+            marker.cid)
+        interp = NaiveInterpreter(lambda n: {"r": R_ROWS, "e": E_ROWS}[n])
+        rows = interp.run(rewritten)
+        unmatched = [row for row in rows if row[0] == 3]
+        assert unmatched and all(row[marker_at] is None
+                                 for row in unmatched)
+
+
+class TestIdentity5And6:
+    def _union_tree(self):
+        r, rk, rv = make_r()
+        e1, ek1, ev1 = make_e()
+        e2, ek2, ev2 = make_e()
+        b1 = Project.passthrough(Select(e1, equals(ek1, rk)), [ev1])
+        b2 = Project.passthrough(Select(e2, equals(ek2, rk)), [ev2])
+        union = UnionAll.from_inputs([b1, b2])
+        return Apply(JoinKind.INNER, r, union)
+
+    def test_identity5_gated_by_default(self):
+        tree = self._union_tree()
+        assert not no_applies(decorrelate(tree, class2=False))
+
+    def test_identity5_union_all(self):
+        """R A× (E1 ∪ E2) = (R A× E1) ∪ (R A× E2), duplicating R."""
+        tree = self._union_tree()
+        rewritten = decorrelate(tree, class2=True)
+        assert no_applies(rewritten)
+        r_instances = collect_nodes(
+            rewritten, lambda n: isinstance(n, Get) and n.table_name == "r")
+        assert len(r_instances) == 2
+        assert run(rewritten) == run(tree)
+
+    def test_identity6_difference(self):
+        """R A× (E1 − E2) = (R A× E1) − (R A× E2)."""
+        r, rk, rv = make_r()
+        e1, ek1, ev1 = make_e()
+        e2, ek2, ev2 = make_e()
+        b1 = Project.passthrough(Select(e1, equals(ek1, rk)), [ev1])
+        b2 = Project.passthrough(
+            Select(Select(e2, equals(ek2, rk)),
+                   Comparison(">", ColumnRef(ev2), Literal(6.0))), [ev2])
+        difference = Difference.from_inputs(b1, b2)
+        tree = Apply(JoinKind.INNER, r, difference)
+        rewritten = decorrelate(tree, class2=True)
+        assert no_applies(rewritten)
+        assert run(rewritten) == run(tree)
+
+
+class TestIdentity7:
+    def test_doubly_correlated_cross(self):
+        """R A× (E1 × E2) = (R A× E1) ⋈_{R.key} (R A× E2)."""
+        r, rk, rv = make_r()
+        e1, ek1, ev1 = make_e()
+        e2, ek2, ev2 = make_e()
+        cross = Join.cross(Select(e1, equals(ek1, rk)),
+                           Select(e2, equals(ek2, rk)))
+        tree = Apply(JoinKind.INNER, r, cross)
+        # both branches correlated: Class 2, default keeps the Apply
+        assert not no_applies(decorrelate(tree, class2=False))
+        rewritten = decorrelate(tree, class2=True)
+        assert no_applies(rewritten)
+        assert run(rewritten) == run(tree)
+
+    def test_one_sided_correlation_avoids_duplication(self):
+        """Correlation confined to one branch pushes Apply there — no
+        common subexpression needed (stays Class 1)."""
+        r, rk, rv = make_r()
+        e1, ek1, ev1 = make_e()
+        e2, ek2, ev2 = make_e()
+        cross = Join.cross(Select(e1, equals(ek1, rk)), e2)
+        tree = Apply(JoinKind.INNER, r, cross)
+        rewritten = decorrelate(tree, class2=False)
+        assert no_applies(rewritten)
+        r_instances = collect_nodes(
+            rewritten, lambda n: isinstance(n, Get) and n.table_name == "r")
+        assert len(r_instances) == 1
+        assert run(rewritten) == run(tree)
+
+
+class TestIdentity8:
+    def test_vector_groupby(self):
+        """R A× (G_{A,F} E) = G_{A ∪ columns(R),F} (R A× E)."""
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        agg = Column("m", DataType.FLOAT)
+        grouped = GroupBy(Select(e, equals(ek, rk)), [ek],
+                          [(agg, AggregateCall(AggregateFunction.MAX,
+                                               ColumnRef(ev)))])
+        tree = Apply(JoinKind.INNER, r, grouped)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        (gb,) = collect_nodes(rewritten, lambda n: isinstance(n, GroupBy))
+        group_ids = {c.cid for c in gb.group_columns}
+        assert {rk.cid, rv.cid, ek.cid} <= group_ids
+        assert run(rewritten) == run(tree)
+
+    def test_requires_key(self):
+        r, rk, rv = make_r(with_key=False)
+        e, ek, ev = make_e()
+        agg = Column("m", DataType.FLOAT)
+        grouped = GroupBy(Select(e, equals(ek, rk)), [ek],
+                          [(agg, AggregateCall(AggregateFunction.MAX,
+                                               ColumnRef(ev)))])
+        tree = Apply(JoinKind.INNER, r, grouped)
+        assert not no_applies(decorrelate(tree))  # Apply survives
+
+
+class TestIdentity9:
+    def _scalar_agg_tree(self, func, argument_col=None):
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        out = Column("x", DataType.FLOAT)
+        if func is AggregateFunction.COUNT_STAR:
+            call = AggregateCall(func)
+        else:
+            call = AggregateCall(func, ColumnRef(argument_col or ev))
+        sgb = ScalarGroupBy(Select(e, equals(ek, rk)), [(out, call)])
+        return Apply(JoinKind.INNER, r, sgb), out
+
+    def test_sum_becomes_outerjoin_groupby(self):
+        tree, out = self._scalar_agg_tree(AggregateFunction.SUM)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        (gb,) = collect_nodes(rewritten, lambda n: isinstance(n, GroupBy))
+        (join,) = collect_nodes(rewritten, lambda n: isinstance(n, Join))
+        assert join.kind is JoinKind.LEFT_OUTER
+        assert run(rewritten) == run(tree)
+        # rows rk=3 and rk=5 have no matches: exactly one output row each,
+        # with a NULL sum (scalar aggregation always yields a row).
+        interp = NaiveInterpreter(lambda n: {"r": R_ROWS, "e": E_ROWS}[n])
+        rows = interp.run(rewritten)
+        x_at = [c.cid for c in rewritten.output_columns()].index(out.cid)
+        unmatched = [row for row in rows if row[0] in (3, 5)]
+        assert len(unmatched) == 2 and all(row[x_at] is None
+                                           for row in unmatched)
+
+    def test_count_star_probe_substitution(self):
+        """The count bug: count(*) over an empty parameterized input must
+        be 0, which identity (9) achieves via count(probe)."""
+        tree, out = self._scalar_agg_tree(AggregateFunction.COUNT_STAR)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        (gb,) = collect_nodes(rewritten, lambda n: isinstance(n, GroupBy))
+        ((_, call),) = [(c, a) for c, a in gb.aggregates]
+        assert call.func is AggregateFunction.COUNT
+        assert call.argument is not None  # probe column, not count(*)
+        assert run(rewritten) == run(tree)
+        interp = NaiveInterpreter(lambda n: {"r": R_ROWS, "e": E_ROWS}[n])
+        rows = interp.run(rewritten)
+        x_at = [c.cid for c in rewritten.output_columns()].index(out.cid)
+        assert all(row[x_at] == 0 for row in rows if row[0] == 3)
+
+    @pytest.mark.parametrize("func", [
+        AggregateFunction.SUM, AggregateFunction.MIN, AggregateFunction.MAX,
+        AggregateFunction.AVG, AggregateFunction.COUNT,
+        AggregateFunction.COUNT_STAR])
+    def test_all_aggregates_preserve_semantics(self, func):
+        tree, _ = self._scalar_agg_tree(func)
+        rewritten = decorrelate(tree)
+        assert no_applies(rewritten)
+        assert run(rewritten) == run(tree)
+
+    def test_requires_key_on_outer(self):
+        r, rk, rv = make_r(with_key=False)
+        e, ek, ev = make_e()
+        out = Column("x", DataType.FLOAT)
+        sgb = ScalarGroupBy(Select(e, equals(ek, rk)),
+                            [(out, AggregateCall(AggregateFunction.SUM,
+                                                 ColumnRef(ev)))])
+        tree = Apply(JoinKind.INNER, r, sgb)
+        assert not no_applies(decorrelate(tree))
+
+
+class TestClass3Boundaries:
+    def test_max1row_blocks_pushdown(self):
+        r, rk, rv = make_r()
+        e, ek, ev = make_e()
+        tree = Apply(JoinKind.LEFT_OUTER, r,
+                     Max1row(Select(e, equals(ek, rk))))
+        rewritten = decorrelate(tree)
+        assert collect_nodes(rewritten, lambda n: isinstance(n, Apply))
+        assert collect_nodes(rewritten, lambda n: isinstance(n, Max1row))
+
+    def test_provably_single_row_elides_max1row(self):
+        from repro.core.normalize import simplify
+
+        r, rk, rv = make_r()
+        e2, e2k, e2v = make_r()  # r has a key on rk
+        tree = Apply(JoinKind.LEFT_OUTER, r,
+                     Max1row(Select(e2, equals(e2k, rk))))
+        rewritten = decorrelate(simplify(tree))
+        assert no_applies(rewritten)

@@ -1,0 +1,305 @@
+"""Unit tests for the binder: name resolution, grouping, subquery binding."""
+
+import pytest
+
+from repro.algebra import (AggregateFunction, ColumnRef, ConstantScan,
+                           DataType, ExistsSubquery, Get, GroupBy, InList,
+                           InSubquery, Join, JoinKind, Max1row, Project,
+                           QuantifiedComparison, ScalarGroupBy,
+                           ScalarSubquery, Select, Sort, Top, UnionAll,
+                           collect_nodes, explain)
+from repro.binder import Binder
+from repro.errors import BindError
+from repro.sql import parse
+
+
+@pytest.fixture
+def binder(mini_catalog):
+    return Binder(mini_catalog)
+
+
+def bind(binder, sql):
+    return binder.bind(parse(sql))
+
+
+class TestBasicBinding:
+    def test_simple_projection(self, binder):
+        bound = bind(binder, "select c_custkey, c_name from customer")
+        assert bound.names == ["c_custkey", "c_name"]
+        assert isinstance(bound.rel, Project)
+        assert isinstance(bound.rel.child, Get)
+
+    def test_star_expansion(self, binder):
+        bound = bind(binder, "select * from customer")
+        assert bound.names == ["c_custkey", "c_name", "c_nationkey",
+                               "c_acctbal"]
+
+    def test_qualified_star(self, binder):
+        bound = bind(binder, "select o.* from customer c, orders o")
+        assert bound.names[0] == "o_orderkey"
+        assert len(bound.names) == 5
+
+    def test_select_without_from(self, binder):
+        bound = bind(binder, "select 1 as one, 'x' as ex")
+        scans = collect_nodes(bound.rel,
+                              lambda n: isinstance(n, ConstantScan))
+        assert len(scans) == 1
+        assert bound.names == ["one", "ex"]
+
+    def test_unknown_column(self, binder):
+        with pytest.raises(BindError, match="unknown column"):
+            bind(binder, "select nope from customer")
+
+    def test_unknown_table(self, binder):
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            bind(binder, "select 1 from nope")
+
+    def test_ambiguous_column(self, binder):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(binder, "select c_custkey from customer a, customer b")
+
+    def test_alias_qualification_disambiguates(self, binder):
+        bound = bind(binder, "select a.c_custkey from customer a, customer b")
+        assert bound.names == ["c_custkey"]
+
+    def test_duplicate_alias_rejected(self, binder):
+        with pytest.raises(BindError, match="duplicate table alias"):
+            bind(binder, "select 1 from customer a, orders a")
+
+    def test_self_join_columns_distinct(self, binder):
+        bound = bind(binder, "select a.c_custkey, b.c_custkey "
+                             "from customer a, customer b")
+        cols = bound.columns
+        assert cols[0].cid != cols[1].cid
+
+    def test_where_requires_boolean(self, binder):
+        with pytest.raises(BindError, match="boolean"):
+            bind(binder, "select 1 from customer where c_custkey + 1")
+
+    def test_type_mismatch_comparison(self, binder):
+        with pytest.raises(BindError, match="cannot compare"):
+            bind(binder, "select 1 from customer where c_name = 5")
+
+    def test_order_by_alias_and_limit(self, binder):
+        bound = bind(binder, "select c_acctbal as bal from customer "
+                             "order by bal desc limit 10")
+        assert isinstance(bound.rel, Top)
+        assert isinstance(bound.rel.child, Sort)
+        assert bound.rel.child.keys[0][1] is False  # descending
+
+    def test_order_by_underlying_column(self, binder):
+        bound = bind(binder, "select c_name from customer order by c_name")
+        assert isinstance(bound.rel, Sort)
+
+    def test_distinct_becomes_groupby(self, binder):
+        bound = bind(binder, "select distinct c_nationkey from customer")
+        assert isinstance(bound.rel, GroupBy)
+        assert bound.rel.aggregates == []
+
+    def test_in_list_binding(self, binder):
+        bound = bind(binder, "select 1 from part "
+                             "where p_container in ('A', 'B')")
+        select = collect_nodes(bound.rel,
+                               lambda n: isinstance(n, Select))[0]
+        assert isinstance(select.predicate, InList)
+
+    def test_arithmetic_type_checks(self, binder):
+        with pytest.raises(BindError, match="invalid arithmetic"):
+            bind(binder, "select c_name + 1 from customer")
+
+
+class TestGrouping:
+    def test_vector_aggregate(self, binder):
+        bound = bind(binder, "select o_custkey, sum(o_totalprice) "
+                             "from orders group by o_custkey")
+        gb = collect_nodes(bound.rel, lambda n: isinstance(n, GroupBy))[0]
+        assert len(gb.group_columns) == 1
+        assert gb.aggregates[0][1].func is AggregateFunction.SUM
+
+    def test_scalar_aggregate(self, binder):
+        bound = bind(binder, "select sum(o_totalprice) from orders")
+        assert collect_nodes(bound.rel,
+                             lambda n: isinstance(n, ScalarGroupBy))
+
+    def test_non_grouped_column_rejected(self, binder):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind(binder, "select o_orderkey, sum(o_totalprice) "
+                         "from orders group by o_custkey")
+
+    def test_having_without_group_rejected(self, binder):
+        with pytest.raises(BindError, match="HAVING"):
+            bind(binder, "select o_orderkey from orders having o_orderkey > 1")
+
+    def test_aggregate_in_where_rejected(self, binder):
+        with pytest.raises(BindError, match="WHERE"):
+            bind(binder, "select 1 from orders where sum(o_totalprice) > 5")
+
+    def test_nested_aggregate_rejected(self, binder):
+        with pytest.raises(BindError, match="nested"):
+            bind(binder, "select sum(count(*)) from orders")
+
+    def test_duplicate_aggregate_bound_once(self, binder):
+        bound = bind(binder, "select sum(o_totalprice), sum(o_totalprice) "
+                             "from orders")
+        sgb = collect_nodes(bound.rel,
+                            lambda n: isinstance(n, ScalarGroupBy))[0]
+        assert len(sgb.aggregates) == 1
+
+    def test_group_by_expression(self, binder):
+        bound = bind(binder, "select o_custkey + 1, count(*) from orders "
+                             "group by o_custkey + 1")
+        gb = collect_nodes(bound.rel, lambda n: isinstance(n, GroupBy))[0]
+        assert len(gb.group_columns) == 1
+
+    def test_having_uses_aggregate(self, binder):
+        bound = bind(binder, "select o_custkey from orders group by o_custkey "
+                             "having 100 < sum(o_totalprice)")
+        gb = collect_nodes(bound.rel, lambda n: isinstance(n, GroupBy))[0]
+        assert gb.aggregates[0][1].func is AggregateFunction.SUM
+
+    def test_expression_over_aggregates(self, binder):
+        bound = bind(binder, "select sum(l_extendedprice) / 7.0 as avg_yearly "
+                             "from lineitem")
+        assert bound.names == ["avg_yearly"]
+
+    def test_sum_requires_numeric(self, binder):
+        with pytest.raises(BindError, match="numeric"):
+            bind(binder, "select sum(c_name) from customer")
+
+    def test_count_star_with_group(self, binder):
+        bound = bind(binder, "select o_orderpriority, count(*) from orders "
+                             "group by o_orderpriority")
+        gb = collect_nodes(bound.rel, lambda n: isinstance(n, GroupBy))[0]
+        assert gb.aggregates[0][1].func is AggregateFunction.COUNT_STAR
+
+
+class TestSubqueryBinding:
+    def test_correlated_scalar_subquery(self, binder):
+        bound = bind(binder, """
+            select c_custkey from customer
+            where 1000000 < (select sum(o_totalprice) from orders
+                             where o_custkey = c_custkey)""")
+        select = collect_nodes(bound.rel,
+                               lambda n: isinstance(n, Select))[0]
+        assert select.contains_subquery()
+        subqueries = [n for n in
+                      select.predicate.children[1].relational_children]
+        assert len(subqueries) == 1
+        # correlated: the subquery references c_custkey from outside
+        assert subqueries[0].outer_references()
+
+    def test_scalar_aggregate_subquery_skips_max1row(self, binder):
+        bound = bind(binder, """
+            select c_custkey from customer
+            where 1 < (select sum(o_totalprice) from orders)""")
+        assert not collect_nodes(bound.rel,
+                                 lambda n: isinstance(n, Max1row))
+
+    def test_non_single_row_subquery_gets_max1row(self, binder):
+        bound = bind(binder, """
+            select c_name, (select o_orderkey from orders
+                            where o_custkey = c_custkey)
+            from customer""")
+        assert collect_nodes(bound.rel, lambda n: isinstance(n, Max1row))
+
+    def test_key_lookup_elides_max1row(self, binder):
+        """Paper Section 2.4: the reversed query needs no Max1row because
+        c_custkey is a declared key."""
+        bound = bind(binder, """
+            select o_orderkey, (select c_name from customer
+                                where c_custkey = o_custkey)
+            from orders""")
+        assert not collect_nodes(bound.rel,
+                                 lambda n: isinstance(n, Max1row))
+
+    def test_exists_binding(self, binder):
+        bound = bind(binder, """
+            select o_orderkey from orders
+            where exists (select * from lineitem
+                          where l_orderkey = o_orderkey)""")
+        select = collect_nodes(
+            bound.rel, lambda n: isinstance(n, Select)
+            and isinstance(n.predicate, ExistsSubquery))
+        assert select
+
+    def test_in_subquery_binding(self, binder):
+        bound = bind(binder, """
+            select p_partkey from part
+            where p_partkey in (select l_partkey from lineitem)""")
+        select = collect_nodes(
+            bound.rel, lambda n: isinstance(n, Select)
+            and isinstance(n.predicate, InSubquery))
+        assert select
+
+    def test_quantified_binding(self, binder):
+        bound = bind(binder, """
+            select s_suppkey from supplier
+            where s_acctbal > all (select c_acctbal from customer)""")
+        select = collect_nodes(
+            bound.rel, lambda n: isinstance(n, Select)
+            and isinstance(n.predicate, QuantifiedComparison))
+        assert select
+
+    def test_scalar_subquery_multiple_columns_rejected(self, binder):
+        with pytest.raises(BindError, match="exactly one column"):
+            bind(binder, "select (select c_custkey, c_name from customer) "
+                         "from orders")
+
+    def test_subquery_in_select_list(self, binder):
+        bound = bind(binder, """
+            select c_name,
+                   (select sum(o_totalprice) from orders
+                    where o_custkey = c_custkey) as total
+            from customer""")
+        assert bound.names == ["c_name", "total"]
+        project = bound.rel
+        assert isinstance(project, Project)
+        assert project.contains_subquery()
+
+    def test_correlated_subquery_in_having(self, binder):
+        bound = bind(binder, """
+            select o_custkey from orders group by o_custkey
+            having sum(o_totalprice) >
+                   (select avg(o_totalprice) from orders)""")
+        assert bound.names == ["o_custkey"]
+
+
+class TestDerivedTablesAndUnion:
+    def test_derived_table(self, binder):
+        bound = bind(binder, """
+            select total from (select o_custkey,
+                                      sum(o_totalprice) as total
+                               from orders group by o_custkey) as agg
+            where total > 100""")
+        assert bound.names == ["total"]
+
+    def test_derived_table_column_aliases(self, binder):
+        bound = bind(binder, """
+            select k from (select o_custkey from orders) as d (k)""")
+        assert bound.names == ["k"]
+
+    def test_derived_table_alias_count_mismatch(self, binder):
+        with pytest.raises(BindError, match="aliases"):
+            bind(binder, "select 1 from (select o_custkey, o_orderkey "
+                         "from orders) as d (k)")
+
+    def test_union_all(self, binder):
+        bound = bind(binder, """
+            select c_acctbal from customer
+            union all
+            select s_acctbal from supplier""")
+        assert isinstance(bound.rel, UnionAll)
+        assert bound.names == ["c_acctbal"]
+
+    def test_union_width_mismatch(self, binder):
+        with pytest.raises(BindError, match="widths"):
+            bind(binder, "select c_custkey, c_name from customer "
+                         "union all select s_suppkey from supplier")
+
+    def test_left_outer_join_binding(self, binder):
+        bound = bind(binder, """
+            select c_custkey from customer
+            left outer join orders on o_custkey = c_custkey""")
+        joins = collect_nodes(bound.rel, lambda n: isinstance(n, Join))
+        assert joins[0].kind is JoinKind.LEFT_OUTER

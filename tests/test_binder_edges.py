@@ -1,0 +1,105 @@
+"""Binder edge cases: grouped-context validation, ORDER BY resolution,
+scope shadowing."""
+
+import pytest
+
+from repro import Database, DataType, FULL, NAIVE
+from repro.binder import Binder
+from repro.errors import BindError
+from repro.sql import parse
+
+
+@pytest.fixture
+def binder(mini_catalog):
+    return Binder(mini_catalog)
+
+
+class TestGroupedContext:
+    def test_subquery_on_nongrouped_column_rejected(self, binder):
+        with pytest.raises(BindError, match="neither grouped"):
+            binder.bind(parse("""
+                select o_custkey from orders group by o_custkey
+                having exists (select * from lineitem
+                               where l_orderkey = o_orderkey)"""))
+
+    def test_subquery_on_grouped_column_allowed(self, binder):
+        bound = binder.bind(parse("""
+            select o_custkey from orders group by o_custkey
+            having exists (select * from customer
+                           where c_custkey = o_custkey)"""))
+        assert bound.names == ["o_custkey"]
+
+    def test_case_over_aggregates(self, binder):
+        bound = binder.bind(parse("""
+            select o_custkey,
+                   case when sum(o_totalprice) > 100.0 then 'big'
+                        else 'small' end
+            from orders group by o_custkey"""))
+        assert len(bound.names) == 2
+
+    def test_between_over_aggregate(self, binder):
+        bound = binder.bind(parse("""
+            select o_custkey from orders group by o_custkey
+            having sum(o_totalprice) between 1.0 and 100.0"""))
+        assert bound.names == ["o_custkey"]
+
+    def test_arithmetic_on_group_column(self, binder):
+        bound = binder.bind(parse("""
+            select o_custkey + 1, count(*) from orders
+            group by o_custkey"""))
+        assert len(bound.names) == 2
+
+
+class TestOrderByResolution:
+    def test_ambiguous_alias_rejected(self, binder):
+        with pytest.raises(BindError, match="ambiguous ORDER BY"):
+            binder.bind(parse(
+                "select c_custkey as x, c_nationkey as x from customer "
+                "order by x"))
+
+    def test_ordinal_out_of_range(self, binder):
+        with pytest.raises(BindError, match="out of range"):
+            binder.bind(parse("select c_custkey from customer order by 2"))
+
+    def test_structural_match_of_expression(self, binder):
+        bound = binder.bind(parse(
+            "select c_acctbal * 2 from customer order by c_acctbal * 2"))
+        assert bound.names == ["col1"]
+
+    def test_order_by_hidden_column_trimmed(self, binder):
+        bound = binder.bind(parse(
+            "select c_name from customer order by c_acctbal"))
+        assert [c.name for c in bound.columns] == ["c_name"]
+
+    def test_distinct_order_by_unselected_rejected(self, binder):
+        with pytest.raises(BindError, match="DISTINCT"):
+            binder.bind(parse(
+                "select distinct c_name from customer order by c_acctbal"))
+
+
+class TestScopes:
+    def test_inner_scope_shadows_outer(self):
+        """A subquery using the same table name resolves its own columns
+        before the outer ones."""
+        db = Database()
+        db.create_table("t", [("k", DataType.INTEGER, False),
+                              ("v", DataType.INTEGER, False)],
+                        primary_key=("k",))
+        db.insert("t", [(1, 10), (2, 20)])
+        sql = """select k from t
+                 where v = (select max(v) from t)"""
+        assert db.execute(sql, FULL).rows == [(2,)]
+        assert db.execute(sql, NAIVE).rows == [(2,)]
+
+    def test_qualified_outer_reference(self):
+        db = Database()
+        db.create_table("t", [("k", DataType.INTEGER, False),
+                              ("v", DataType.INTEGER, False)],
+                        primary_key=("k",))
+        db.insert("t", [(1, 10), (2, 20)])
+        sql = """select outer_t.k from t outer_t
+                 where outer_t.v < (select sum(v) from t
+                                    where t.k <> outer_t.k)"""
+        # k=1: 10 < 20 ✓;  k=2: 20 < 10 ✗
+        for mode in (FULL, NAIVE):
+            assert db.execute(sql, mode).rows == [(1,)]

@@ -1,0 +1,193 @@
+"""Unit tests for the catalog and the in-memory storage engine."""
+
+import pytest
+
+from repro.algebra import DataType
+from repro.catalog import (Catalog, ColumnDef, IndexDef, TableDef,
+                           compute_table_stats)
+from repro.errors import CatalogError, ExecutionError
+from repro.storage import Storage, StoredTable
+from repro.storage.index import HashIndex, OrderedIndex
+
+
+def people_def():
+    return TableDef(
+        "people",
+        [ColumnDef("id", DataType.INTEGER, nullable=False),
+         ColumnDef("name", DataType.VARCHAR, nullable=False),
+         ColumnDef("age", DataType.INTEGER, nullable=True)],
+        primary_key=("id",))
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table(people_def())
+        assert catalog.get_table("people").name == "people"
+        assert catalog.get_table("PEOPLE").name == "people"  # case-insensitive
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(people_def())
+        with pytest.raises(CatalogError):
+            catalog.create_table(people_def())
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().get_table("nope")
+
+    def test_key_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [ColumnDef("a", DataType.INTEGER)],
+                     primary_key=("b",))
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [ColumnDef("a", DataType.INTEGER),
+                           ColumnDef("a", DataType.INTEGER)])
+
+    def test_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(people_def())
+        catalog.create_index(IndexDef("ix_age", "people", ("age",)))
+        assert [ix.name for ix in catalog.indexes_on("people")] == ["ix_age"]
+        with pytest.raises(CatalogError):
+            catalog.create_index(IndexDef("ix_bad", "people", ("nope",)))
+
+    def test_drop_table_removes_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(people_def())
+        catalog.create_index(IndexDef("ix_age", "people", ("age",)))
+        catalog.drop_table("people")
+        assert not catalog.has_table("people")
+        with pytest.raises(CatalogError):
+            catalog.get_index("ix_age")
+
+    def test_invalid_index_kind(self):
+        with pytest.raises(CatalogError):
+            IndexDef("ix", "t", ("a",), kind="btree-ish")
+
+
+class TestStoredTable:
+    def test_insert_tuple_and_dict(self):
+        table = StoredTable(people_def())
+        table.insert((1, "alice", 30))
+        table.insert({"id": 2, "name": "bob"})
+        assert list(table.scan()) == [(1, "alice", 30), (2, "bob", None)]
+
+    def test_not_null_enforced(self):
+        table = StoredTable(people_def())
+        with pytest.raises(ExecutionError):
+            table.insert((1, None, 5))
+
+    def test_type_checked(self):
+        table = StoredTable(people_def())
+        with pytest.raises(ExecutionError):
+            table.insert((1, "alice", "not an int"))
+
+    def test_primary_key_enforced(self):
+        table = StoredTable(people_def())
+        table.insert((1, "alice", 30))
+        with pytest.raises(ExecutionError):
+            table.insert((1, "bob", 31))
+
+    def test_wrong_width_rejected(self):
+        table = StoredTable(people_def())
+        with pytest.raises(ExecutionError):
+            table.insert((1, "x"))
+
+    def test_unknown_dict_column_rejected(self):
+        table = StoredTable(people_def())
+        with pytest.raises(ExecutionError):
+            table.insert({"id": 1, "name": "x", "nope": 2})
+
+    def test_key_lookup_index_on_pk(self):
+        table = StoredTable(people_def())
+        table.insert((1, "alice", 30))
+        table.insert((2, "bob", 31))
+        index = table.key_lookup_index(["id"])
+        assert index is not None
+        assert index.lookup((2,)) == [1]
+
+    def test_secondary_index_maintained(self):
+        table = StoredTable(people_def())
+        table.insert((1, "alice", 30))
+        table.add_index(IndexDef("ix_age", "people", ("age",)))
+        table.insert((2, "bob", 30))
+        index = table.index("ix_age")
+        assert sorted(index.lookup((30,))) == [0, 1]
+
+    def test_statistics(self):
+        table = StoredTable(people_def())
+        table.insert_many([(1, "a", 10), (2, "b", 20), (3, "c", None)])
+        stats = table.statistics()
+        assert stats.row_count == 3
+        age = stats.column("age")
+        assert age.distinct_count == 2
+        assert age.null_count == 1
+        assert age.min_value == 10 and age.max_value == 20
+
+    def test_statistics_cache_invalidated_on_insert(self):
+        table = StoredTable(people_def())
+        table.insert((1, "a", 10))
+        assert table.statistics().row_count == 1
+        table.insert((2, "b", 20))
+        assert table.statistics().row_count == 2
+
+
+class TestIndexes:
+    def test_hash_index_null_never_matches(self):
+        index = HashIndex([0])
+        index.insert((None, "x"), 0)
+        index.insert((1, "y"), 1)
+        assert index.lookup((None,)) == []
+        assert index.lookup((1,)) == [1]
+
+    def test_ordered_index_range_scan(self):
+        index = OrderedIndex([0])
+        for position, key in enumerate([5, 1, 3, None, 2, 4]):
+            index.insert((key,), position)
+        in_order = [p for p in index.range_scan()]
+        assert in_order == [1, 4, 2, 5, 0]  # positions of 1,2,3,4,5
+        assert list(index.range_scan(low=(2,), high=(4,))) == [4, 2, 5]
+        assert list(index.range_scan(low=(2,), high=(4,),
+                                     low_inclusive=False,
+                                     high_inclusive=False)) == [2]
+
+    def test_ordered_index_lookup(self):
+        index = OrderedIndex([0])
+        index.insert((3,), 0)
+        index.insert((3,), 1)
+        index.insert((4,), 2)
+        assert sorted(index.lookup((3,))) == [0, 1]
+        assert index.lookup((None,)) == []
+
+
+class TestStorage:
+    def test_round_trip(self):
+        storage = Storage()
+        table = storage.create(people_def())
+        table.insert((1, "a", None))
+        assert storage.get("people") is table
+        storage.drop("people")
+        with pytest.raises(ExecutionError):
+            storage.get("people")
+
+
+class TestStatisticsHelpers:
+    def test_compute_table_stats_empty(self):
+        stats = compute_table_stats(["a"], [])
+        assert stats.row_count == 0
+        assert stats.column("a").distinct_count == 0
+
+    def test_selectivity_equals(self):
+        stats = compute_table_stats(["a"], [(1,), (2,), (2,), (None,)])
+        col = stats.column("a")
+        sel = col.selectivity_equals(4)
+        assert sel == pytest.approx((3 / 4) / 2)
+
+    def test_selectivity_range(self):
+        stats = compute_table_stats(["a"], [(i,) for i in range(101)])
+        col = stats.column("a")
+        assert col.selectivity_range("<", 50, 101) == pytest.approx(0.5, abs=0.01)
+        assert col.selectivity_range(">", 75, 101) == pytest.approx(0.25, abs=0.01)

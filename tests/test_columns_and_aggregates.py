@@ -1,0 +1,186 @@
+"""Unit tests for the column identity model and aggregate descriptors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import (AggregateFunction, Column, ColumnSet, DataType,
+                           descriptor)
+
+
+class TestColumn:
+    def test_identity_is_by_id_not_name(self):
+        a = Column("x", DataType.INTEGER)
+        b = Column("x", DataType.INTEGER)
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_fresh_copy_gets_new_id(self):
+        a = Column("x", DataType.INTEGER, nullable=False)
+        b = a.fresh_copy()
+        assert b != a
+        assert b.name == "x"
+        assert b.dtype is DataType.INTEGER
+        assert b.nullable is False
+
+    def test_with_nullability_preserves_identity(self):
+        a = Column("x", DataType.INTEGER, nullable=False)
+        b = a.with_nullability(True)
+        assert a == b
+        assert b.nullable is True
+
+    def test_ids_monotonically_increase(self):
+        a = Column("a", DataType.INTEGER)
+        b = Column("b", DataType.INTEGER)
+        assert b.cid > a.cid
+
+
+class TestColumnSet:
+    def test_set_algebra(self):
+        a, b, c = (Column(n, DataType.INTEGER) for n in "abc")
+        s1 = ColumnSet.of(a, b)
+        s2 = ColumnSet.of(b, c)
+        assert a in s1 and c not in s1
+        assert set(s1.union(s2).ids()) == {a.cid, b.cid, c.cid}
+        assert set(s1.intersection(s2).ids()) == {b.cid}
+        assert set(s1.difference(s2).ids()) == {a.cid}
+        assert s1.issubset(s1.union(s2))
+        assert not s1.isdisjoint(s2)
+        assert ColumnSet.of(a).isdisjoint(ColumnSet.of(c))
+
+    def test_equality_and_hash(self):
+        a, b = Column("a", DataType.INTEGER), Column("b", DataType.INTEGER)
+        assert ColumnSet.of(a, b) == ColumnSet.of(b, a)
+        assert hash(ColumnSet.of(a, b)) == hash(ColumnSet.of(b, a))
+
+    def test_empty_set_falsy(self):
+        assert not ColumnSet()
+        assert ColumnSet.of(Column("a", DataType.INTEGER))
+
+
+class TestAggregateDescriptors:
+    def test_values_on_empty(self):
+        assert descriptor(AggregateFunction.SUM).value_on_empty is None
+        assert descriptor(AggregateFunction.COUNT).value_on_empty == 0
+        assert descriptor(AggregateFunction.COUNT_STAR).value_on_empty == 0
+        assert descriptor(AggregateFunction.MIN).value_on_empty is None
+        assert descriptor(AggregateFunction.AVG).value_on_empty is None
+
+    def test_identity9_condition(self):
+        """agg(empty) == agg({NULL}) holds for all SQL aggregates except
+        count(*), which is exactly the paper's F -> F' substitution rule."""
+        for func in AggregateFunction:
+            d = descriptor(func)
+            expected = func is not AggregateFunction.COUNT_STAR
+            assert d.empty_equals_single_null is expected
+
+    def test_fold_sum(self):
+        d = descriptor(AggregateFunction.SUM)
+        state = d.initial()
+        assert d.final(state) is None  # empty input
+        for v in (1, None, 2):
+            state = d.step(state, v)
+        assert d.final(state) == 3
+
+    def test_fold_count_ignores_nulls(self):
+        d = descriptor(AggregateFunction.COUNT)
+        state = d.initial()
+        for v in (1, None, 2, None):
+            state = d.step(state, v)
+        assert d.final(state) == 2
+
+    def test_fold_count_star_counts_everything(self):
+        d = descriptor(AggregateFunction.COUNT_STAR)
+        state = d.initial()
+        for v in (1, None, None):
+            state = d.step(state, v)
+        assert d.final(state) == 3
+
+    def test_fold_avg(self):
+        d = descriptor(AggregateFunction.AVG)
+        state = d.initial()
+        assert d.final(state) is None
+        for v in (2, 4, None):
+            state = d.step(state, v)
+        assert d.final(state) == 3.0
+
+    def test_fold_min_max_all_null(self):
+        for func in (AggregateFunction.MIN, AggregateFunction.MAX):
+            d = descriptor(func)
+            state = d.initial()
+            state = d.step(state, None)
+            assert d.final(state) is None
+
+    @given(st.lists(st.one_of(st.none(), st.integers(-100, 100)), max_size=30),
+           st.integers(0, 30))
+    def test_merge_equals_sequential(self, values, split_at):
+        """Partial-state merge must agree with a single sequential fold for
+        every aggregate — the property behind local/global splitting."""
+        split_at = min(split_at, len(values))
+        first, second = values[:split_at], values[split_at:]
+        for func in AggregateFunction:
+            d = descriptor(func)
+            sequential = d.initial()
+            for v in values:
+                sequential = d.step(sequential, v)
+            s1 = d.initial()
+            for v in first:
+                s1 = d.step(s1, v)
+            s2 = d.initial()
+            for v in second:
+                s2 = d.step(s2, v)
+            assert d.final(d.merge(s1, s2)) == d.final(sequential)
+
+    @given(st.lists(st.one_of(st.none(), st.integers(-50, 50)),
+                    min_size=1, max_size=30),
+           st.integers(1, 5))
+    def test_split_roundtrip(self, values, parts):
+        """f(∪ Si) == f_g(∪ f_l(Si)) for every splittable aggregate —
+        the defining equation of Section 3.3."""
+        chunks = [values[i::parts] for i in range(parts)]
+        chunks = [c for c in chunks if c]
+        for func in AggregateFunction:
+            d = descriptor(func)
+            assert d.splittable
+            split = d.split
+
+            # Compute local aggregates per chunk.
+            local_results = []
+            for chunk in chunks:
+                row = []
+                for part in split.local:
+                    ld = descriptor(part.func)
+                    state = ld.initial()
+                    for v in chunk:
+                        state = ld.step(state, v)
+                    row.append(ld.final(state))
+                local_results.append(row)
+
+            # Combine with global aggregates.
+            finals = {}
+            for position, part in enumerate(split.global_):
+                gd = descriptor(part.func)
+                state = gd.initial()
+                for row in local_results:
+                    state = gd.step(state, row[position])
+                finals[part.role] = gd.final(state)
+
+            if split.finalizer is None:
+                combined = finals[split.global_[0].role]
+            elif split.finalizer == "sum/count":
+                combined = (None if not finals["count"]
+                            else finals["sum"] / finals["count"])
+            else:  # pragma: no cover - no other finalizers exist
+                raise AssertionError(split.finalizer)
+
+            direct_state = d.initial()
+            for v in values:
+                direct_state = d.step(direct_state, v)
+            assert combined == d.final(direct_state)
+
+    def test_unsplittable_distinct_handled_by_caller(self):
+        # distinct is a property of the call, not the descriptor; descriptors
+        # themselves are always splittable.
+        d = descriptor(AggregateFunction.SUM)
+        assert d.splittable

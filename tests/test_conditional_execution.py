@@ -1,0 +1,133 @@
+"""Paper Section 2.4 — conditional scalar execution.
+
+"The point is, <value2> should not be evaluated when <cond> is true.
+Therefore, eager execution of a subquery, say contained in <value2>, is
+incorrect, in particular if it happens to generate a run-time error.
+To deal with this scenario, we use a modified version of Apply with
+conditional execution of the parameterized expression."
+
+The setup: a CASE whose non-taken branch holds a scalar subquery that
+WOULD raise the Max1row error if evaluated.  The query must succeed, in
+every execution mode, and the guarded Apply must survive normalization.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import (CORRELATED, DECORRELATE_ONLY, FULL, NAIVE, Database,
+                   DataType, SubqueryReturnedMultipleRows)
+from repro.algebra import Apply, collect_nodes
+from repro.core.normalize import normalize
+from repro.sql import parse
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("customer",
+                          [("c_custkey", DataType.INTEGER, False),
+                           ("c_kind", DataType.VARCHAR, False)],
+                          primary_key=("c_custkey",))
+    database.create_table("orders",
+                          [("o_orderkey", DataType.INTEGER, False),
+                           ("o_custkey", DataType.INTEGER, False),
+                           ("o_totalprice", DataType.FLOAT, False)],
+                          primary_key=("o_orderkey",))
+    database.insert("customer", [(1, "single"), (2, "multi")])
+    # customer 1 has exactly one order; customer 2 has two.
+    database.insert("orders", [(10, 1, 5.0), (20, 2, 7.0), (21, 2, 9.0)])
+    return database
+
+
+# The ELSE branch's subquery returns 2 rows for customer 2 — evaluating it
+# there would raise; the CASE only reaches it for customer 1.
+GUARDED = """
+    select c_custkey,
+           case when c_kind = 'multi'
+                then (select sum(o_totalprice) from orders
+                      where o_custkey = c_custkey)
+                else (select o_totalprice from orders
+                      where o_custkey = c_custkey)
+           end as price
+    from customer
+"""
+
+
+class TestConditionalScalarExecution:
+    def test_all_modes_succeed_and_agree(self, db):
+        reference = db.execute(GUARDED, NAIVE)
+        assert Counter(reference.rows) == Counter([(1, 5.0), (2, 16.0)])
+        for mode in (FULL, DECORRELATE_ONLY, CORRELATED):
+            assert Counter(db.execute(GUARDED, mode).rows) == \
+                Counter(reference.rows)
+
+    def test_eager_branch_would_raise(self, db):
+        # Sanity: without the CASE guard the subquery IS an error.
+        bare = """select c_custkey,
+                         (select o_totalprice from orders
+                          where o_custkey = c_custkey)
+                  from customer"""
+        with pytest.raises(SubqueryReturnedMultipleRows):
+            db.execute(bare, FULL)
+
+    def test_guarded_apply_survives_normalization(self, db):
+        bound = db._binder.bind(parse(GUARDED))
+        normalized = normalize(bound.rel)
+        guarded = [a for a in collect_nodes(
+            normalized, lambda n: isinstance(n, Apply)) if a.guard is not None]
+        assert guarded, "expected a guarded Apply for the CASE branch"
+
+    def test_then_branch_also_guarded(self, db):
+        """The THEN subquery must not run when the condition is false —
+        here the THEN branch errors for 'multi' customers but the
+        condition routes them to ELSE."""
+        flipped = """
+            select c_custkey,
+                   case when c_kind = 'single'
+                        then (select o_totalprice from orders
+                              where o_custkey = c_custkey)
+                        else (select sum(o_totalprice) from orders
+                              where o_custkey = c_custkey)
+                   end
+            from customer"""
+        for mode in (NAIVE, FULL, DECORRELATE_ONLY, CORRELATED):
+            assert Counter(db.execute(flipped, mode).rows) == \
+                Counter([(1, 5.0), (2, 16.0)])
+
+    def test_multiple_when_branches(self, db):
+        sql = """
+            select c_custkey,
+                   case when c_kind = 'nope' then 0.0
+                        when c_kind = 'single'
+                             then (select o_totalprice from orders
+                                   where o_custkey = c_custkey)
+                        else -1.0
+                   end
+            from customer"""
+        for mode in (NAIVE, FULL):
+            assert Counter(db.execute(sql, mode).rows) == \
+                Counter([(1, 5.0), (2, -1.0)])
+
+    def test_case_without_subquery_unaffected(self, db):
+        sql = """select case when c_kind = 'multi' then 1 else 0 end
+                 from customer"""
+        assert Counter(db.execute(sql, FULL).rows) == \
+            Counter([(0,), (1,)])
+
+    def test_nested_case_guards_compose(self, db):
+        sql = """
+            select c_custkey,
+                   case when c_kind = 'multi' then
+                        case when c_custkey = 2
+                             then (select sum(o_totalprice) from orders
+                                   where o_custkey = c_custkey)
+                             else (select o_totalprice from orders
+                                   where o_custkey = c_custkey)
+                        end
+                   else 0.0
+                   end
+            from customer"""
+        for mode in (NAIVE, FULL):
+            assert Counter(db.execute(sql, mode).rows) == \
+                Counter([(1, 0.0), (2, 16.0)])

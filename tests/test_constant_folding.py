@@ -1,0 +1,112 @@
+"""Constant folding during normalization."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (And, Arithmetic, Case, Column, ColumnRef,
+                           Comparison, DataType, Interval, Literal, Not,
+                           Or, equals)
+from repro.algebra.scalar import Extract
+from repro.core.normalize.simplify import fold_constants
+from repro.executor.naive import NaiveInterpreter
+
+
+def lit(v):
+    return Literal(v)
+
+
+class TestFolding:
+    def test_arithmetic(self):
+        expr = Arithmetic("+", lit(2), Arithmetic("*", lit(3), lit(4)))
+        assert fold_constants(expr) == lit(14)
+
+    def test_date_plus_interval(self):
+        expr = Arithmetic("+", Literal(datetime.date(1993, 7, 1)),
+                          Literal(Interval(months=3)))
+        folded = fold_constants(expr)
+        assert folded == Literal(datetime.date(1993, 10, 1))
+
+    def test_comparison(self):
+        assert fold_constants(Comparison("<", lit(1), lit(2))) == lit(True)
+
+    def test_null_propagation(self):
+        expr = Arithmetic("+", Literal(None, DataType.INTEGER), lit(1))
+        folded = fold_constants(expr)
+        assert isinstance(folded, Literal) and folded.value is None
+
+    def test_division_by_zero_deferred(self):
+        expr = Arithmetic("/", lit(1), lit(0))
+        assert fold_constants(expr) is expr  # left for run time
+
+    def test_and_absorption(self):
+        col = Column("a", DataType.INTEGER)
+        live = equals(col, lit(1))
+        assert fold_constants(And([lit(True), live])) == live
+        assert fold_constants(And([lit(False), live])) == lit(False)
+
+    def test_or_absorption(self):
+        col = Column("a", DataType.INTEGER)
+        live = equals(col, lit(1))
+        assert fold_constants(Or([lit(False), live])) == live
+        assert fold_constants(Or([lit(True), live])) == lit(True)
+
+    def test_case_pruning(self):
+        col = Column("a", DataType.INTEGER)
+        live = equals(col, lit(1))
+        case = Case([(lit(False), lit(10)), (live, lit(20))], lit(30))
+        folded = fold_constants(case)
+        assert isinstance(folded, Case) and len(folded.whens) == 1
+
+    def test_case_constant_true_takes_branch(self):
+        case = Case([(lit(True), lit(10))], lit(30))
+        assert fold_constants(case) == lit(10)
+
+    def test_extract_folds(self):
+        expr = Extract("year", Literal(datetime.date(1998, 3, 4)))
+        assert fold_constants(expr) == lit(1998)
+
+    def test_column_refs_untouched(self):
+        col = Column("a", DataType.INTEGER)
+        expr = Arithmetic("+", ColumnRef(col), lit(1))
+        assert fold_constants(expr) is expr
+
+    def test_folds_inside_aggregate_argument(self):
+        from repro.algebra import AggregateCall, AggregateFunction
+
+        col = Column("a", DataType.INTEGER)
+        call = AggregateCall(
+            AggregateFunction.SUM,
+            Arithmetic("*", ColumnRef(col),
+                       Arithmetic("-", lit(1), lit(0))))
+        folded = fold_constants(call)
+        assert isinstance(folded, AggregateCall)
+        assert folded.argument.sql() == f"({ColumnRef(col).sql()} * 1)"
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=st.integers(-5, 5), b=st.integers(-5, 5),
+           op=st.sampled_from(["+", "-", "*"]),
+           cmp=st.sampled_from(["=", "<", ">="]))
+    def test_folding_matches_evaluation(self, a, b, op, cmp):
+        expr = Comparison(cmp, Arithmetic(op, lit(a), lit(b)), lit(0))
+        folded = fold_constants(expr)
+        assert isinstance(folded, Literal)
+        naive = NaiveInterpreter(lambda name: [])
+        assert folded.value == naive.scalar(expr, {})
+
+
+class TestFoldingInQueries:
+    def test_interval_folded_in_plan(self, mini_catalog):
+        from repro import Database
+        from repro.binder import Binder
+
+        db = Database()
+        db.catalog = mini_catalog
+        db._binder = Binder(mini_catalog)
+        text = db.explain("""
+            select o_orderkey from orders
+            where o_orderdate < date '1993-07-01' + interval '3' month""")
+        assert "interval" not in text.lower()
+        assert "1993-10-01" in text

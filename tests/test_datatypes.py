@@ -1,0 +1,138 @@
+"""Unit tests for SQL types, NULL semantics and three-valued logic."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.datatypes import (DataType, Interval, common_supertype,
+                                     infer_literal_type, negate_comparison,
+                                     flip_comparison, sql_add, sql_and,
+                                     sql_compare, sql_div, sql_mul, sql_not,
+                                     sql_or, sql_sub, value_matches_type)
+
+TRUTH = [True, False, None]
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(None, False) is False
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True
+        assert sql_or(None, True) is True
+        assert sql_or(False, None) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    @given(st.sampled_from(TRUTH), st.sampled_from(TRUTH))
+    def test_de_morgan(self, a, b):
+        assert sql_not(sql_and(a, b)) == sql_or(sql_not(a), sql_not(b))
+        assert sql_not(sql_or(a, b)) == sql_and(sql_not(a), sql_not(b))
+
+    @given(st.sampled_from(TRUTH), st.sampled_from(TRUTH),
+           st.sampled_from(TRUTH))
+    def test_and_associative(self, a, b, c):
+        assert sql_and(sql_and(a, b), c) == sql_and(a, sql_and(b, c))
+
+    @given(st.sampled_from(TRUTH), st.sampled_from(TRUTH))
+    def test_commutativity(self, a, b):
+        assert sql_and(a, b) == sql_and(b, a)
+        assert sql_or(a, b) == sql_or(b, a)
+
+
+class TestComparisons:
+    def test_null_propagates(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert sql_compare(op, None, 1) is None
+            assert sql_compare(op, 1, None) is None
+            assert sql_compare(op, None, None) is None
+
+    def test_basic_comparisons(self):
+        assert sql_compare("=", 3, 3) is True
+        assert sql_compare("<>", 3, 4) is True
+        assert sql_compare("<", 3, 4) is True
+        assert sql_compare(">=", 3, 3) is True
+        assert sql_compare(">", 3, 4) is False
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            sql_compare("==", 1, 1)
+
+    @given(st.integers(), st.integers())
+    def test_negate_comparison_is_complement(self, a, b):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            original = sql_compare(op, a, b)
+            negated = sql_compare(negate_comparison(op), a, b)
+            assert original != negated
+
+    @given(st.integers(), st.integers())
+    def test_flip_comparison_swaps_operands(self, a, b):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert sql_compare(op, a, b) == sql_compare(flip_comparison(op), b, a)
+
+
+class TestArithmetic:
+    def test_null_propagation(self):
+        assert sql_add(None, 1) is None
+        assert sql_sub(1, None) is None
+        assert sql_mul(None, None) is None
+        assert sql_div(None, 0) is None
+
+    def test_division(self):
+        assert sql_div(6, 3) == 2
+        assert isinstance(sql_div(6, 3), int)
+        assert sql_div(7, 2) == 3.5
+        with pytest.raises(ZeroDivisionError):
+            sql_div(1, 0)
+
+    def test_date_plus_interval_days(self):
+        d = datetime.date(1998, 12, 1)
+        assert sql_sub(d, Interval(days=90)) == datetime.date(1998, 9, 2)
+        assert sql_add(d, Interval(days=31)) == datetime.date(1999, 1, 1)
+
+    def test_date_plus_interval_months_clamps(self):
+        d = datetime.date(1999, 1, 31)
+        assert sql_add(d, Interval(months=1)) == datetime.date(1999, 2, 28)
+        assert sql_add(d, Interval(months=3)) == datetime.date(1999, 4, 30)
+
+    def test_interval_year_boundary(self):
+        d = datetime.date(1993, 11, 15)
+        assert sql_add(d, Interval(months=3)) == datetime.date(1994, 2, 15)
+
+
+class TestTypes:
+    def test_infer_literal_type(self):
+        assert infer_literal_type(1) is DataType.INTEGER
+        assert infer_literal_type(1.5) is DataType.FLOAT
+        assert infer_literal_type("x") is DataType.VARCHAR
+        assert infer_literal_type(True) is DataType.BOOLEAN
+        assert infer_literal_type(datetime.date(2000, 1, 1)) is DataType.DATE
+        assert infer_literal_type(Interval(months=1)) is DataType.INTERVAL
+
+    def test_value_matches_type(self):
+        assert value_matches_type(None, DataType.INTEGER)
+        assert value_matches_type(5, DataType.INTEGER)
+        assert not value_matches_type(True, DataType.INTEGER)
+        assert value_matches_type(True, DataType.BOOLEAN)
+        assert not value_matches_type(1, DataType.BOOLEAN)
+        assert value_matches_type(5, DataType.DECIMAL)
+        assert value_matches_type(5.5, DataType.DECIMAL)
+
+    def test_common_supertype(self):
+        assert common_supertype(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+        assert common_supertype(DataType.INTEGER, DataType.DECIMAL) is DataType.DECIMAL
+        assert common_supertype(DataType.DATE, DataType.DATE) is DataType.DATE
+        with pytest.raises(TypeError):
+            common_supertype(DataType.DATE, DataType.INTEGER)

@@ -1,0 +1,85 @@
+"""Deeply nested and multiply correlated subqueries."""
+
+from collections import Counter
+
+import pytest
+
+from repro import CORRELATED, FULL, NAIVE, Database, DataType
+from repro.algebra import Apply, collect_nodes
+from repro.core.normalize import normalize
+from repro.sql import parse
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("a", [("ak", DataType.INTEGER, False),
+                                ("av", DataType.INTEGER, False)],
+                          primary_key=("ak",))
+    database.create_table("b", [("bk", DataType.INTEGER, False),
+                                ("ba", DataType.INTEGER, False),
+                                ("bv", DataType.INTEGER, False)],
+                          primary_key=("bk",))
+    database.create_table("c", [("ck", DataType.INTEGER, False),
+                                ("cb", DataType.INTEGER, False),
+                                ("cv", DataType.INTEGER, False)],
+                          primary_key=("ck",))
+    database.insert("a", [(i, i % 3) for i in range(1, 7)])
+    database.insert("b", [(i, i % 6 + 1, i % 4) for i in range(1, 13)])
+    database.insert("c", [(i, i % 12 + 1, i % 5) for i in range(1, 25)])
+    return database
+
+
+THREE_LEVELS = """
+    select ak from a
+    where av < (select sum(bv) from b
+                where ba = ak
+                  and bv <= (select count(*) from c
+                             where cb = bk and cv < av))
+"""
+
+
+class TestDeepNesting:
+    def test_three_level_correlation_agrees(self, db):
+        reference = Counter(db.execute(THREE_LEVELS, NAIVE).rows)
+        for mode in (FULL, CORRELATED):
+            assert Counter(db.execute(THREE_LEVELS, mode).rows) == reference
+
+    def test_three_levels_fully_flatten(self, db):
+        """The innermost subquery correlates to BOTH enclosing levels
+        (cb = bk from level 2, cv < av from level 1); identity-based
+        removal must still eliminate every Apply."""
+        bound = db._binder.bind(parse(THREE_LEVELS))
+        normalized = normalize(bound.rel)
+        assert not collect_nodes(normalized,
+                                 lambda n: isinstance(n, Apply))
+
+    def test_sibling_subqueries(self, db):
+        sql = """
+            select ak from a
+            where av <= (select count(*) from b where ba = ak)
+              and av <= (select count(*) from c where cv = av)
+              and exists (select * from b where ba = ak and bv > 0)"""
+        reference = Counter(db.execute(sql, NAIVE).rows)
+        for mode in (FULL, CORRELATED):
+            assert Counter(db.execute(sql, mode).rows) == reference
+
+    def test_subquery_inside_derived_table(self, db):
+        sql = """
+            select d.ak from (select ak, av from a
+                              where av < (select avg(bv) from b
+                                          where ba = ak)) as d
+            where d.av >= 0"""
+        reference = Counter(db.execute(sql, NAIVE).rows)
+        assert Counter(db.execute(sql, FULL).rows) == reference
+
+    def test_exists_containing_scalar_subquery(self, db):
+        sql = """
+            select ak from a
+            where exists (select * from b
+                          where ba = ak
+                            and bv = (select min(cv) from c
+                                      where cb = bk))"""
+        reference = Counter(db.execute(sql, NAIVE).rows)
+        for mode in (FULL, CORRELATED):
+            assert Counter(db.execute(sql, mode).rows) == reference

@@ -1,0 +1,258 @@
+"""End-to-end differential tests: every execution mode must agree.
+
+Each query runs through FULL (all optimizations, physical engine),
+DECORRELATE_ONLY, CORRELATED (Apply kept, nested-loops execution) and
+NAIVE (direct interpretation of the bound tree); results are compared as
+multisets.  This exercises the complete pipeline: parser → binder →
+normalizer → cost-based optimizer → physical executor.
+"""
+
+import datetime
+from collections import Counter
+
+import pytest
+
+from repro import (CORRELATED, DECORRELATE_ONLY, FULL, NAIVE, Database,
+                   DataType)
+
+D = datetime.date
+
+
+def build_database() -> Database:
+    db = Database()
+    db.create_table("customer",
+                    [("c_custkey", DataType.INTEGER, False),
+                     ("c_name", DataType.VARCHAR, False),
+                     ("c_nationkey", DataType.INTEGER, False),
+                     ("c_acctbal", DataType.FLOAT, False)],
+                    primary_key=("c_custkey",))
+    db.create_table("orders",
+                    [("o_orderkey", DataType.INTEGER, False),
+                     ("o_custkey", DataType.INTEGER, False),
+                     ("o_totalprice", DataType.FLOAT, False),
+                     ("o_orderdate", DataType.DATE, False),
+                     ("o_orderpriority", DataType.VARCHAR, False)],
+                    primary_key=("o_orderkey",))
+    db.create_table("lineitem",
+                    [("l_orderkey", DataType.INTEGER, False),
+                     ("l_partkey", DataType.INTEGER, False),
+                     ("l_linenumber", DataType.INTEGER, False),
+                     ("l_quantity", DataType.FLOAT, False),
+                     ("l_extendedprice", DataType.FLOAT, False)],
+                    primary_key=("l_orderkey", "l_linenumber"))
+    db.create_table("part",
+                    [("p_partkey", DataType.INTEGER, False),
+                     ("p_brand", DataType.VARCHAR, False),
+                     ("p_container", DataType.VARCHAR, False),
+                     ("p_retailprice", DataType.FLOAT, False)],
+                    primary_key=("p_partkey",))
+    db.create_table("nully",
+                    [("n_id", DataType.INTEGER, False),
+                     ("n_a", DataType.INTEGER, True),
+                     ("n_b", DataType.INTEGER, True)],
+                    primary_key=("n_id",))
+    db.create_index("ix_orders_custkey", "orders", ["o_custkey"])
+    db.create_index("ix_lineitem_partkey", "lineitem", ["l_partkey"])
+
+    db.insert("customer", [
+        (1, "alice", 10, 100.0), (2, "bob", 20, 200.0),
+        (3, "carol", 10, 50.0), (4, "dave", 30, 0.0)])
+    db.insert("orders", [
+        (100, 1, 600000.0, D(1996, 1, 2), "1-URGENT"),
+        (101, 1, 500000.0, D(1996, 2, 2), "2-HIGH"),
+        (102, 2, 100.0, D(1997, 1, 2), "1-URGENT"),
+        (103, 3, 999999.0, D(1995, 5, 5), "3-LOW"),
+        (104, 3, 2.0, D(1995, 6, 5), "3-LOW")])
+    db.insert("lineitem", [
+        (100, 7, 1, 17.0, 1000.0), (100, 8, 2, 36.0, 2000.0),
+        (101, 7, 1, 2.0, 100.0), (103, 9, 1, 28.0, 3000.0),
+        (103, 7, 2, 1.0, 50.0), (104, 9, 1, 50.0, 75.0)])
+    db.insert("part", [
+        (7, "Brand#23", "MED BOX", 10.0), (8, "Brand#13", "LG BOX", 20.0),
+        (9, "Brand#23", "MED BOX", 30.0), (10, "Brand#42", "SM BOX", 40.0)])
+    db.insert("nully", [
+        (1, None, 2), (2, 3, None), (3, None, None), (4, 5, 5), (5, 2, 1)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    return build_database()
+
+
+QUERIES = [
+    # projections / filters / expressions
+    "select c_custkey, c_acctbal * 2 from customer where c_acctbal >= 50.0",
+    "select * from part where p_brand like 'Brand#2%'",
+    "select c_name from customer where c_nationkey in (10, 30)",
+    "select n_id from nully where n_a is null",
+    "select c_name from customer order by c_acctbal desc limit 2",
+    # joins
+    """select c_name, o_orderkey from customer, orders
+       where o_custkey = c_custkey and o_totalprice > 50.0""",
+    """select c_name, o_orderkey from customer
+       left outer join orders on o_custkey = c_custkey""",
+    """select a.c_custkey, b.c_custkey from customer a, customer b
+       where a.c_nationkey = b.c_nationkey and a.c_custkey < b.c_custkey""",
+    # aggregation
+    "select count(*), sum(c_acctbal), min(c_acctbal) from customer",
+    """select o_custkey, count(*), max(o_totalprice) from orders
+       group by o_custkey order by o_custkey""",
+    """select c_nationkey, sum(c_acctbal) from customer
+       group by c_nationkey having count(*) > 1""",
+    "select distinct o_orderpriority from orders",
+    "select count(distinct c_nationkey) from customer",
+    "select avg(n_a) from nully",
+    # the paper's running example (3 formulations)
+    """select c_custkey from customer
+       where 1000000 < (select sum(o_totalprice) from orders
+                        where o_custkey = c_custkey)""",
+    """select c_custkey
+       from customer left outer join orders on o_custkey = c_custkey
+       group by c_custkey having 1000000 < sum(o_totalprice)""",
+    """select c_custkey
+       from customer, (select o_custkey from orders group by o_custkey
+                       having 1000000 < sum(o_totalprice)) as agg
+       where o_custkey = c_custkey""",
+    # subquery varieties
+    """select c_name, (select count(*) from orders
+                       where o_custkey = c_custkey) from customer""",
+    """select c_custkey from customer
+       where exists (select * from orders where o_custkey = c_custkey
+                     and o_totalprice > 1000.0)""",
+    """select c_custkey from customer
+       where not exists (select * from orders
+                         where o_custkey = c_custkey)""",
+    """select p_partkey from part
+       where p_partkey not in (select l_partkey from lineitem)""",
+    """select n_id from nully where n_a not in (select n_b from nully)""",
+    """select n_id from nully where n_a > all (select n_b from nully
+                                               where n_b is not null)""",
+    """select c_custkey from customer
+       where c_acctbal > (select avg(c_acctbal) from customer)""",
+    """select o_orderkey, (select c_name from customer
+                           where c_custkey = o_custkey) from orders""",
+    # TPC-H Q17 shape (SegmentApply territory)
+    """select sum(l_extendedprice) / 7.0 as avg_yearly
+       from lineitem, part
+       where p_partkey = l_partkey and p_brand = 'Brand#23'
+         and p_container = 'MED BOX'
+         and l_quantity < (select 0.2 * avg(l2.l_quantity) from lineitem l2
+                           where l2.l_partkey = p_partkey)""",
+    # TPC-H Q4 shape
+    """select o_orderpriority, count(*) as order_count from orders
+       where o_orderdate >= date '1995-01-01'
+         and o_orderdate < date '1995-01-01' + interval '2' year
+         and exists (select * from lineitem where l_orderkey = o_orderkey)
+       group by o_orderpriority order by o_orderpriority""",
+    # union all + derived tables
+    """select bal from (select c_acctbal as bal from customer
+                        union all
+                        select o_totalprice from orders) as u
+       where bal > 100.0""",
+    # correlated HAVING
+    """select o_custkey from orders group by o_custkey
+       having sum(o_totalprice) > (select avg(o_totalprice) from orders)""",
+    # CASE
+    """select c_name, case when c_acctbal > 150.0 then 'rich'
+                           when c_acctbal > 25.0 then 'ok'
+                           else 'poor' end from customer""",
+    # date arithmetic
+    """select o_orderkey from orders
+       where o_orderdate between date '1995-01-01' and
+             date '1996-01-01' + interval '45' day""",
+    # subquery-valued needle inside IN
+    """select c_custkey from customer
+       where (select max(o_totalprice) from orders
+              where o_custkey = c_custkey)
+             in (select o_totalprice from orders)""",
+    # subqueries on both sides of a comparison
+    """select c_custkey from customer
+       where (select count(*) from orders where o_custkey = c_custkey)
+             > (select count(*) from lineitem
+                where l_orderkey = c_custkey)""",
+    # EXTRACT in filters and grouping
+    """select extract(year from o_orderdate), count(*) from orders
+       where extract(month from o_orderdate) <= 6
+       group by extract(year from o_orderdate)""",
+]
+
+MODES = [FULL, DECORRELATE_ONLY, CORRELATED]
+
+
+@pytest.mark.parametrize("sql", QUERIES, ids=range(len(QUERIES)))
+def test_all_modes_agree(db, sql):
+    reference = db.execute(sql, NAIVE)
+    for mode in MODES:
+        result = db.execute(sql, mode)
+        assert Counter(result.rows) == Counter(reference.rows), \
+            f"mode {mode.name} diverged"
+        assert result.names == reference.names
+
+
+ORDERED_QUERIES = [
+    "select c_name from customer order by c_acctbal desc, c_name limit 3",
+    """select o_custkey, sum(o_totalprice) as total from orders
+       group by o_custkey order by total desc""",
+    # ordinal ORDER BY and LIMIT ... OFFSET
+    "select c_name, c_acctbal from customer order by 2 desc, 1",
+    """select c_custkey from customer
+       order by c_custkey limit 2 offset 1""",
+]
+
+
+@pytest.mark.parametrize("sql", ORDERED_QUERIES, ids=range(len(ORDERED_QUERIES)))
+def test_ordered_results_preserve_order(db, sql):
+    reference = db.execute(sql, NAIVE)
+    for mode in MODES:
+        result = db.execute(sql, mode)
+        assert result.rows == reference.rows  # exact order
+
+
+class TestRuntimeErrors:
+    def test_scalar_subquery_multiple_rows_raises_everywhere(self, db):
+        from repro import SubqueryReturnedMultipleRows
+        sql = """select c_name, (select o_orderkey from orders
+                                 where o_custkey = c_custkey)
+                 from customer"""
+        for mode in MODES + [NAIVE]:
+            with pytest.raises(SubqueryReturnedMultipleRows):
+                db.execute(sql, mode)
+
+    def test_max1row_passes_when_single(self, db):
+        sql = """select c_name, (select o_orderkey from orders
+                                 where o_custkey = c_custkey
+                                   and o_totalprice > 999998.0)
+                 from customer"""
+        reference = db.execute(sql, NAIVE)
+        for mode in MODES:
+            assert Counter(db.execute(sql, mode).rows) == \
+                Counter(reference.rows)
+
+
+class TestEmptyTables:
+    def test_queries_on_empty_database(self):
+        db = Database()
+        db.create_table("customer",
+                        [("c_custkey", DataType.INTEGER, False),
+                         ("c_acctbal", DataType.FLOAT, False)],
+                        primary_key=("c_custkey",))
+        db.create_table("orders",
+                        [("o_orderkey", DataType.INTEGER, False),
+                         ("o_custkey", DataType.INTEGER, False),
+                         ("o_totalprice", DataType.FLOAT, False)],
+                        primary_key=("o_orderkey",))
+        queries = [
+            "select count(*) from customer",
+            "select sum(o_totalprice) from orders",
+            """select c_custkey from customer
+               where 10 < (select sum(o_totalprice) from orders
+                           where o_custkey = c_custkey)""",
+            """select c_custkey, (select count(*) from orders
+                                  where o_custkey = c_custkey)
+               from customer""",
+        ]
+        for sql in queries:
+            reference = db.execute(sql, NAIVE)
+            for mode in MODES:
+                assert db.execute(sql, mode).rows == reference.rows

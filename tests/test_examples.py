@@ -1,0 +1,72 @@
+"""Smoke tests: every bundled example must run end to end.
+
+Examples are imported as modules (scale factors shrunk where they exist)
+and their ``main`` executed; output goes to the captured stdout.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "big spenders" in out
+        assert "carol" in out
+
+    def test_decorrelation_tour(self, capsys):
+        module = load_example("decorrelation_tour")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Stage 1" in out and "Stage 4" in out
+        assert "Apply" in out
+        assert "Join[inner]" in out  # the final simplified join
+
+    def test_syntax_independence(self, capsys):
+        module = load_example("syntax_independence")
+        module.SCALE_FACTOR = 0.001
+        module.main()
+        out = capsys.readouterr().out
+        assert "same result: True" in out
+
+    def test_q17_segment_apply(self, capsys):
+        module = load_example("q17_segment_apply")
+        module.SCALE_FACTOR = 0.002
+        module.main()
+        out = capsys.readouterr().out
+        assert "SegmentApply" in out
+        assert "Strategy timings" in out
+
+    def test_tpch_cli(self, capsys):
+        module = load_example("tpch_cli")
+        code = module.main(["--scale", "0.0005", "--query", "Q6",
+                            "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q6:" in out and "-- physical --" in out
+
+    def test_tpch_cli_adhoc_sql(self, capsys):
+        module = load_example("tpch_cli")
+        code = module.main(["--scale", "0.0005",
+                            "--sql", "select count(*) from region"])
+        assert code == 0
+        assert "ad-hoc: 1 rows" in capsys.readouterr().out
+
+    def test_tpch_cli_requires_action(self, capsys):
+        module = load_example("tpch_cli")
+        assert module.main(["--scale", "0.0005"]) == 2

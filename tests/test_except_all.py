@@ -1,0 +1,57 @@
+"""EXCEPT ALL (bag difference) through the full pipeline."""
+
+from collections import Counter
+
+import pytest
+
+from repro import CORRELATED, FULL, NAIVE, Database, DataType
+from repro.errors import BindError, SqlSyntaxError
+from repro.sql import parse
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", DataType.INTEGER, False),
+                                ("tag", DataType.VARCHAR, False)])
+    database.create_table("u", [("b", DataType.INTEGER, False)])
+    database.insert("t", [(1, "x"), (1, "x"), (2, "x"), (3, "x")])
+    database.insert("u", [(1,), (3,), (3,)])
+    return database
+
+
+class TestExceptAll:
+    def test_bag_difference_semantics(self, db):
+        sql = "select a from t except all select b from u"
+        for mode in (NAIVE, FULL, CORRELATED):
+            result = db.execute(sql, mode)
+            # {1,1,2,3} − {1,3,3} = {1,2}
+            assert Counter(result.rows) == Counter([(1,), (2,)])
+
+    def test_chained(self, db):
+        sql = ("select a from t except all select b from u "
+               "except all select 1")
+        result = db.execute(sql, FULL)
+        assert Counter(result.rows) == Counter([(2,)])
+
+    def test_mixed_with_union_all(self, db):
+        sql = ("select a from t union all select b from u "
+               "except all select 1")
+        result = db.execute(sql, FULL)
+        # ({1,1,2,3} ∪ {1,3,3}) − {1} = {1,1,2,3,3,3}
+        assert Counter(result.rows) == \
+            Counter([(1,), (1,), (2,), (3,), (3,), (3,)])
+
+    def test_plain_except_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="EXCEPT ALL"):
+            parse("select 1 except select 2")
+
+    def test_width_mismatch(self, db):
+        with pytest.raises(BindError, match="widths"):
+            db.execute("select a, tag from t except all select b from u")
+
+    def test_subquery_with_except(self, db):
+        sql = """select count(*) from t
+                 where a in (select a from t except all select b from u)"""
+        for mode in (NAIVE, FULL):
+            assert db.execute(sql, mode).rows == [(3,)]  # a ∈ {1, 2}

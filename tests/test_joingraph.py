@@ -1,0 +1,108 @@
+"""Greedy join-order seeding: structure and semantics."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (Column, ColumnRef, Comparison, DataType, Get,
+                           Join, JoinKind, Literal, Project, Select,
+                           collect_nodes, equals, plan_signature)
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.core.optimizer import Estimator
+from repro.core.optimizer.joingraph import greedy_join_order
+from repro.executor import NaiveInterpreter
+
+
+def table(name, *column_names, key=False):
+    columns = [Column(f"{name}_{c}", DataType.INTEGER, nullable=False)
+               for c in column_names]
+    keys = [[columns[0]]] if key else []
+    return Get(name, columns, keys), columns
+
+
+def stats_for(sizes):
+    def provider(name):
+        if name not in sizes:
+            return None
+        rows = sizes[name]
+        return TableStats(rows, {})
+    return provider
+
+
+def make_factory(sizes):
+    return lambda: Estimator(stats_for(sizes))
+
+
+class TestStructure:
+    def test_small_table_seeds_first(self):
+        big, (big_k,) = table("big", "k")
+        mid, (mid_k, mid_f) = table("mid", "k", "f")
+        tiny, (tiny_k,) = table("tiny", "k")
+        tree = Join(JoinKind.INNER,
+                    Join(JoinKind.INNER, big, mid, equals(mid_k, big_k)),
+                    tiny, equals(tiny_k, mid_f))
+        sizes = {"big": 100000, "mid": 1000, "tiny": 10}
+        ordered = greedy_join_order(tree, make_factory(sizes))
+        # the deepest (first-joined) relation should be the tiny one
+        joins = collect_nodes(ordered, lambda n: isinstance(n, Join))
+        deepest = joins[-1]
+        names = [n.table_name for n in collect_nodes(
+            deepest.left, lambda n: isinstance(n, Get))]
+        assert names == ["tiny"]
+
+    def test_two_way_join_untouched(self):
+        a, (ak,) = table("a", "k")
+        b, (bk,) = table("b", "k")
+        tree = Join(JoinKind.INNER, a, b, equals(ak, bk))
+        ordered = greedy_join_order(tree, make_factory({"a": 5, "b": 5}))
+        assert ordered is tree
+
+    def test_output_columns_preserved(self):
+        a, (ak,) = table("a", "k")
+        b, (bk, bf) = table("b", "k", "f")
+        c, (ck,) = table("c", "k")
+        tree = Join(JoinKind.INNER,
+                    Join(JoinKind.INNER, a, b, equals(ak, bk)),
+                    c, equals(ck, bf))
+        ordered = greedy_join_order(
+            tree, make_factory({"a": 10, "b": 100, "c": 1000}))
+        assert [col.cid for col in ordered.output_columns()] == \
+            [col.cid for col in tree.output_columns()]
+
+    def test_clusters_below_other_operators(self):
+        a, (ak,) = table("a", "k")
+        b, (bk,) = table("b", "k")
+        c, (ck,) = table("c", "k")
+        cluster = Join(JoinKind.INNER,
+                       Join(JoinKind.INNER, a, b, equals(ak, bk)),
+                       c, equals(ck, bk))
+        tree = Select(cluster, Comparison(">", ColumnRef(ak), Literal(0)))
+        ordered = greedy_join_order(
+            tree, make_factory({"a": 10, "b": 10, "c": 10}))
+        assert isinstance(ordered, Select)
+
+
+class TestSemantics:
+    @settings(max_examples=50, deadline=None)
+    @given(a_rows=st.lists(st.tuples(st.integers(0, 3)), max_size=5),
+           b_rows=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                           max_size=6),
+           c_rows=st.lists(st.tuples(st.integers(0, 3)), max_size=5))
+    def test_reordering_preserves_results(self, a_rows, b_rows, c_rows):
+        a, (ak,) = table("a", "k")
+        b, (bk, bf) = table("b", "k", "f")
+        c, (ck,) = table("c", "k")
+        tree = Join(JoinKind.INNER,
+                    Join(JoinKind.INNER, a, b, equals(ak, bk)),
+                    c, equals(ck, bf))
+        sizes = {"a": max(len(a_rows), 1), "b": max(len(b_rows), 1),
+                 "c": max(len(c_rows), 1)}
+        ordered = greedy_join_order(tree, make_factory(sizes))
+        data = {"a": a_rows, "b": b_rows, "c": c_rows}
+
+        def run(t):
+            return Counter(NaiveInterpreter(lambda n: data[n]).run(t))
+
+        assert run(ordered) == run(tree)

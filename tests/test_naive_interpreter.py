@@ -1,0 +1,209 @@
+"""Direct unit tests for the naive logical interpreter (the oracle).
+
+The oracle's own behaviour is pinned here — the rest of the suite uses it
+differentially, so its edge cases deserve first-class coverage.
+"""
+
+import pytest
+
+from repro.algebra import (AggregateCall, AggregateFunction, Apply, Column,
+                           ColumnRef, Comparison, ConstantScan, DataType,
+                           Difference, Get, GroupBy, Join, JoinKind,
+                           Literal, Max1row, Project, ScalarGroupBy,
+                           SegmentApply, SegmentRef, Select, Sort, Top,
+                           UnionAll, equals)
+from repro.algebra.scalar import (ExistsSubquery, InSubquery,
+                                  QuantifiedComparison, ScalarSubquery)
+from repro.errors import ExecutionError, SubqueryReturnedMultipleRows
+from repro.executor import NaiveInterpreter
+
+
+def interp(data):
+    return NaiveInterpreter(lambda name: data[name])
+
+
+def t_get(nullable_b=True):
+    a = Column("a", DataType.INTEGER, nullable=False)
+    b = Column("b", DataType.INTEGER, nullable=nullable_b)
+    return Get("t", [a, b], []), a, b
+
+
+class TestJoinKinds:
+    DATA = {"t": [(1, 10), (2, 20), (3, None)],
+            "u": [(1, 10), (1, 11), (4, 40)]}
+
+    def _pair(self):
+        t, ta, tb = t_get()
+        ua = Column("ua", DataType.INTEGER, nullable=False)
+        ub = Column("ub", DataType.INTEGER, nullable=True)
+        u = Get("u", [ua, ub], [])
+        return t, ta, tb, u, ua, ub
+
+    def test_inner(self):
+        t, ta, tb, u, ua, ub = self._pair()
+        rows = interp(self.DATA).run(Join(JoinKind.INNER, t, u,
+                                          equals(ta, ua)))
+        assert sorted(rows) == [(1, 10, 1, 10), (1, 10, 1, 11)]
+
+    def test_left_outer_pads(self):
+        t, ta, tb, u, ua, ub = self._pair()
+        rows = interp(self.DATA).run(Join(JoinKind.LEFT_OUTER, t, u,
+                                          equals(ta, ua)))
+        padded = [r for r in rows if r[2] is None]
+        assert len(rows) == 4 and len(padded) == 2
+
+    def test_semi_and_anti(self):
+        t, ta, tb, u, ua, ub = self._pair()
+        semi = interp(self.DATA).run(Join(JoinKind.LEFT_SEMI, t, u,
+                                          equals(ta, ua)))
+        anti = interp(self.DATA).run(Join(JoinKind.LEFT_ANTI, t, u,
+                                          equals(ta, ua)))
+        assert semi == [(1, 10)]
+        assert sorted(anti) == [(2, 20), (3, None)]
+
+    def test_unknown_predicate_rejects(self):
+        t, ta, tb, u, ua, ub = self._pair()
+        rows = interp(self.DATA).run(Join(JoinKind.INNER, t, u,
+                                          equals(tb, ub)))
+        # t's NULL b never matches anything
+        assert all(r[1] is not None for r in rows)
+
+
+class TestSubqueryNodes:
+    DATA = {"t": [(1, 10), (2, None)], "u": [(1, 5), (1, 6)]}
+
+    def _outer_inner(self):
+        t, ta, tb = t_get()
+        ua = Column("ua", DataType.INTEGER, nullable=False)
+        ub = Column("ub", DataType.INTEGER, nullable=False)
+        u = Get("u", [ua, ub], [])
+        return t, ta, tb, u, ua, ub
+
+    def test_scalar_subquery_empty_is_null(self):
+        t, ta, tb, u, ua, ub = self._outer_inner()
+        sub = Project.passthrough(
+            Select(u, equals(ua, Literal(99))), [ub])
+        out = Column("s", DataType.INTEGER)
+        tree = Project(t, [(out, ScalarSubquery(sub))])
+        assert interp(self.DATA).run(tree) == [(None,), (None,)]
+
+    def test_scalar_subquery_two_rows_raises(self):
+        t, ta, tb, u, ua, ub = self._outer_inner()
+        sub = Project.passthrough(Select(u, equals(ua, ta)), [ub])
+        out = Column("s", DataType.INTEGER)
+        tree = Project(t, [(out, ScalarSubquery(sub))])
+        with pytest.raises(SubqueryReturnedMultipleRows):
+            interp(self.DATA).run(tree)
+
+    def test_quantified_all_over_empty_is_true(self):
+        t, ta, tb, u, ua, ub = self._outer_inner()
+        empty = Select(u, Literal(False))
+        pred = QuantifiedComparison(
+            ">", "ALL", ColumnRef(ta),
+            Project.passthrough(empty, [ub]))
+        rows = interp(self.DATA).run(Select(t, pred))
+        assert len(rows) == 2  # vacuous truth
+
+    def test_quantified_any_over_empty_is_false(self):
+        t, ta, tb, u, ua, ub = self._outer_inner()
+        empty = Select(u, Literal(False))
+        pred = QuantifiedComparison(
+            ">", "ANY", ColumnRef(ta),
+            Project.passthrough(empty, [ub]))
+        assert interp(self.DATA).run(Select(t, pred)) == []
+
+    def test_in_subquery_null_needle_unknown(self):
+        t, ta, tb, u, ua, ub = self._outer_inner()
+        pred = InSubquery(ColumnRef(tb),
+                          Project.passthrough(u, [ub]))
+        rows = interp(self.DATA).run(Select(t, pred))
+        assert all(r[1] is not None for r in rows)
+
+    def test_exists_negated(self):
+        t, ta, tb, u, ua, ub = self._outer_inner()
+        pred = ExistsSubquery(Select(u, equals(ua, ta)), negated=True)
+        rows = interp(self.DATA).run(Select(t, pred))
+        assert rows == [(2, None)]
+
+
+class TestSegmentApplyStack:
+    def test_nested_segment_refs_restore(self):
+        """A SegmentApply inside another must not clobber the outer
+        segment binding."""
+        data = {"t": [(1, 10), (1, 11), (2, 20)]}
+        t, ta, tb = t_get(nullable_b=False)
+        outer_mirrors = [c.fresh_copy() for c in t.output_columns()]
+
+        inner_source = SegmentRef(outer_mirrors)
+        inner_mirrors = [c.fresh_copy() for c in outer_mirrors]
+        cnt = Column("cnt", DataType.INTEGER)
+        innermost = ScalarGroupBy(SegmentRef(inner_mirrors), [
+            (cnt, AggregateCall(AggregateFunction.COUNT_STAR))])
+        nested = SegmentApply(inner_source, innermost,
+                              [outer_mirrors[0]], inner_mirrors)
+        tree = SegmentApply(t, nested, [ta], outer_mirrors)
+        rows = interp(data).run(tree)
+        assert sorted(rows) == [(1, 1, 2), (2, 2, 1)]
+
+
+class TestBagOperators:
+    def test_union_all_positional_maps(self):
+        x = Column("x", DataType.INTEGER, False)
+        y = Column("y", DataType.INTEGER, False)
+        a = ConstantScan([x], [(1,), (2,)])
+        b = ConstantScan([y], [(2,)])
+        union = UnionAll.from_inputs([a, b])
+        assert sorted(interp({}).run(union)) == [(1,), (2,), (2,)]
+
+    def test_difference_multiplicities(self):
+        x = Column("x", DataType.INTEGER, False)
+        y = Column("y", DataType.INTEGER, False)
+        a = ConstantScan([x], [(1,), (1,), (1,), (2,)])
+        b = ConstantScan([y], [(1,), (1,)])
+        diff = Difference.from_inputs(a, b)
+        assert sorted(interp({}).run(diff)) == [(1,), (2,)]
+
+    def test_difference_with_nulls(self):
+        x = Column("x", DataType.INTEGER, True)
+        y = Column("y", DataType.INTEGER, True)
+        a = ConstantScan([x], [(None,), (None,), (1,)])
+        b = ConstantScan([y], [(None,)])
+        diff = Difference.from_inputs(a, b)
+        # EXCEPT ALL matches NULLs as equal (distinct-like semantics)
+        assert sorted(interp({}).run(diff),
+                      key=lambda r: (r[0] is None, r[0])) == [(1,), (None,)]
+
+
+class TestOrderingOperators:
+    def test_sort_desc_nulls_last(self):
+        t, ta, tb = t_get()
+        data = {"t": [(1, 3), (2, None), (3, 1)]}
+        rows = interp(data).run(Sort(t, [(ColumnRef(tb), False)]))
+        assert [r[1] for r in rows] == [3, 1, None]
+
+    def test_top_with_offset(self):
+        t, ta, tb = t_get()
+        data = {"t": [(i, i) for i in range(1, 6)]}
+        tree = Top(Sort(t, [(ColumnRef(ta), True)]), 2, offset=2)
+        assert interp(data).run(tree) == [(3, 3), (4, 4)]
+
+    def test_max1row_boundary(self):
+        t, ta, tb = t_get()
+        assert interp({"t": [(1, 1)]}).run(Max1row(t)) == [(1, 1)]
+        assert interp({"t": []}).run(Max1row(t)) == []
+        with pytest.raises(SubqueryReturnedMultipleRows):
+            interp({"t": [(1, 1), (2, 2)]}).run(Max1row(t))
+
+
+class TestErrors:
+    def test_segment_ref_without_binding(self):
+        ref = SegmentRef([Column("m", DataType.INTEGER)])
+        with pytest.raises(ExecutionError, match="SegmentRef"):
+            interp({}).run(ref)
+
+    def test_unbound_column(self):
+        t, ta, tb = t_get()
+        stray = Column("stray", DataType.INTEGER)
+        tree = Select(t, equals(stray, Literal(1)))
+        with pytest.raises(ExecutionError, match="unbound"):
+            interp({"t": [(1, 2)]}).run(tree)

@@ -1,0 +1,196 @@
+"""Normalization tests mirroring the paper's worked examples (Section 2).
+
+These check plan *shapes*: Q1 must normalize to the Figure 5 pipeline
+(select over GroupBy over inner join), existential subqueries must become
+semi/antijoins, Class 3 subqueries must retain Apply + Max1row.
+"""
+
+import pytest
+
+from repro.algebra import (Apply, Get, GroupBy, Join, JoinKind, Max1row,
+                           ScalarGroupBy, Select, collect_nodes, explain)
+from repro.binder import Binder
+from repro.core.normalize import NormalizeConfig, normalize
+from repro.sql import parse
+
+
+@pytest.fixture
+def binder(mini_catalog):
+    return Binder(mini_catalog)
+
+
+def normalized(binder, sql, **config):
+    bound = binder.bind(parse(sql))
+    return normalize(bound.rel, NormalizeConfig(**config) if config else None)
+
+
+PAPER_Q1 = """
+    select c_custkey from customer
+    where 1000000 < (select sum(o_totalprice) from orders
+                     where o_custkey = c_custkey)
+"""
+
+
+class TestPaperQ1:
+    def test_no_subquery_remains(self, binder):
+        rel = normalized(binder, PAPER_Q1)
+        assert not rel.contains_subquery()
+
+    def test_no_apply_remains(self, binder):
+        rel = normalized(binder, PAPER_Q1)
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+
+    def test_figure5_shape(self, binder):
+        """σ → GroupBy → inner join (outerjoin already simplified)."""
+        rel = normalized(binder, PAPER_Q1)
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert len(joins) == 1
+        assert joins[0].kind is JoinKind.INNER
+        groupbys = collect_nodes(rel, lambda n: isinstance(n, GroupBy))
+        assert len(groupbys) == 1
+        # The GroupBy sits above the join, the filter above the GroupBy.
+        text = explain(rel)
+        assert text.index("Select") < text.index("GroupBy")
+        assert text.index("GroupBy") < text.index("Join")
+
+    def test_outerjoin_kept_without_simplification(self, binder):
+        rel = normalized(binder, PAPER_Q1, simplify_outerjoins=False)
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert joins[0].kind is JoinKind.LEFT_OUTER
+
+    def test_correlated_form_kept_without_decorrelation(self, binder):
+        rel = normalized(binder, PAPER_Q1, decorrelate=False)
+        assert collect_nodes(rel, lambda n: isinstance(n, Apply))
+
+    def test_groupby_groups_by_customer_columns(self, binder):
+        """Identity (9): G_{columns(R), F'}."""
+        rel = normalized(binder, PAPER_Q1)
+        (gb,) = collect_nodes(rel, lambda n: isinstance(n, GroupBy))
+        names = {c.name for c in gb.group_columns}
+        assert "c_custkey" in names
+
+
+class TestExistentialSubqueries:
+    def test_exists_becomes_semijoin(self, binder):
+        rel = normalized(binder, """
+            select o_orderkey from orders
+            where exists (select * from lineitem
+                          where l_orderkey = o_orderkey)""")
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_SEMI for j in joins)
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+
+    def test_not_exists_becomes_antijoin(self, binder):
+        rel = normalized(binder, """
+            select o_orderkey from orders
+            where not exists (select * from lineitem
+                              where l_orderkey = o_orderkey)""")
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_ANTI for j in joins)
+
+    def test_in_becomes_semijoin(self, binder):
+        rel = normalized(binder, """
+            select p_partkey from part
+            where p_partkey in (select l_partkey from lineitem)""")
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_SEMI for j in joins)
+
+    def test_not_in_becomes_antijoin(self, binder):
+        rel = normalized(binder, """
+            select p_partkey from part
+            where p_partkey not in (select l_partkey from lineitem)""")
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_ANTI for j in joins)
+
+    def test_quantified_all_becomes_antijoin(self, binder):
+        rel = normalized(binder, """
+            select s_suppkey from supplier
+            where s_acctbal >= all (select c_acctbal from customer)""")
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_ANTI for j in joins)
+
+    def test_quantified_any_becomes_semijoin(self, binder):
+        rel = normalized(binder, """
+            select s_suppkey from supplier
+            where s_acctbal > any (select c_acctbal from customer)""")
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_SEMI for j in joins)
+
+    def test_exists_under_or_uses_count_rewrite(self, binder):
+        """A non-conjunct existential cannot become a semijoin; the count
+        rewrite (Section 2.4) kicks in and still decorrelates fully."""
+        rel = normalized(binder, """
+            select o_orderkey from orders
+            where exists (select * from lineitem
+                          where l_orderkey = o_orderkey)
+               or o_totalprice > 100.0""")
+        assert not rel.contains_subquery()
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+        # The count-rewrite introduces a vector aggregate after pushdown.
+        assert collect_nodes(rel, lambda n: isinstance(n, GroupBy))
+
+
+class TestClass3Subqueries:
+    def test_exception_subquery_keeps_apply_and_max1row(self, binder):
+        """Paper Q2 (Section 2.4): scalar subquery that may return several
+        rows is fundamentally non-relational — Apply + Max1row remain."""
+        rel = normalized(binder, """
+            select c_name, (select o_orderkey from orders
+                            where o_custkey = c_custkey)
+            from customer""")
+        assert collect_nodes(rel, lambda n: isinstance(n, Max1row))
+        assert collect_nodes(rel, lambda n: isinstance(n, Apply))
+
+    def test_key_lookup_decorrelates_fully(self, binder):
+        """The reversed query (customer by key) needs no Max1row and fully
+        flattens into an outer join."""
+        rel = normalized(binder, """
+            select o_orderkey, (select c_name from customer
+                                where c_custkey = o_custkey)
+            from orders""")
+        assert not collect_nodes(rel, lambda n: isinstance(n, Max1row))
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+        joins = collect_nodes(rel, lambda n: isinstance(n, Join))
+        assert any(j.kind is JoinKind.LEFT_OUTER for j in joins)
+
+
+class TestClass2Subqueries:
+    PAPER_CLASS2 = """
+        select ps_partkey from partsupp
+        where 100.0 > (select sum(s_acctbal) from
+                       (select s_acctbal from supplier
+                        where s_suppkey = ps_suppkey
+                        union all
+                        select p_retailprice from part
+                        where p_partkey = ps_partkey) as unionresult)
+    """
+
+    def test_kept_as_apply_by_default(self, binder):
+        rel = normalized(binder, self.PAPER_CLASS2)
+        assert collect_nodes(rel, lambda n: isinstance(n, Apply))
+
+    def test_flattened_with_class2_rewrites(self, binder):
+        rel = normalized(binder, self.PAPER_CLASS2, class2_rewrites=True)
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+        # identity (5) duplicated the outer table
+        gets = collect_nodes(
+            rel, lambda n: isinstance(n, Get)
+            and n.table_name == "partsupp")
+        assert len(gets) >= 2
+
+
+class TestUncorrelatedSubqueries:
+    def test_uncorrelated_scalar_becomes_join(self, binder):
+        rel = normalized(binder, """
+            select c_custkey from customer
+            where c_acctbal > (select avg(c_acctbal) from customer)""")
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+        assert collect_nodes(rel, lambda n: isinstance(n, ScalarGroupBy))
+
+    def test_multiple_subqueries_in_one_predicate(self, binder):
+        rel = normalized(binder, """
+            select c_custkey from customer
+            where c_acctbal > (select avg(c_acctbal) from customer)
+              and c_custkey in (select o_custkey from orders)""")
+        assert not collect_nodes(rel, lambda n: isinstance(n, Apply))
+        assert not rel.contains_subquery()

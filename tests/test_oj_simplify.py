@@ -1,0 +1,155 @@
+"""Unit tests for outerjoin simplification (paper Section 1.2 + the
+null-rejection-through-GroupBy derivation that is new in the paper)."""
+
+import pytest
+
+from repro.algebra import (AggregateCall, AggregateFunction, Apply, Column,
+                           ColumnRef, Comparison, DataType, GroupBy, IsNull,
+                           Join, JoinKind, Literal, Project, Select,
+                           collect_nodes, equals)
+from repro.core.normalize import simplify_outerjoins
+
+from .helpers import customer_scan, orders_scan
+
+
+def loj_under_groupby(agg_func=AggregateFunction.SUM, extra_aggs=()):
+    cust, (ck, cn, cnk) = customer_scan()
+    orders, (ok, ock, price) = orders_scan()
+    loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+    agg_out = Column("x", DataType.FLOAT)
+    aggregates = [(agg_out, AggregateCall(agg_func, ColumnRef(price)))]
+    aggregates.extend(extra_aggs)
+    gb = GroupBy(loj, [ck, cn, cnk], aggregates)
+    return gb, agg_out, price
+
+
+def join_kinds(rel):
+    return [j.kind for j in collect_nodes(rel,
+                                          lambda n: isinstance(n, Join))]
+
+
+class TestDirectSimplification:
+    def test_filter_on_inner_column_simplifies(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+        tree = Select(loj, Comparison(">", ColumnRef(price), Literal(5.0)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.INNER]
+
+    def test_filter_on_outer_column_does_not(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+        tree = Select(loj, Comparison(">", ColumnRef(ck), Literal(5)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.LEFT_OUTER]
+
+    def test_is_null_filter_blocks(self):
+        """IS NULL accepts the padded rows — no simplification."""
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+        tree = Select(loj, IsNull(ColumnRef(ok)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.LEFT_OUTER]
+
+    def test_is_not_null_simplifies(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+        tree = Select(loj, IsNull(ColumnRef(ok), negated=True))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.INNER]
+
+
+class TestThroughGroupBy:
+    def test_sum_filter_derives_through(self):
+        """The paper's running example: HAVING 1000000 < sum(...)."""
+        gb, agg_out, _ = loj_under_groupby()
+        tree = Select(gb, Comparison("<", Literal(1000000.0),
+                                     ColumnRef(agg_out)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.INNER]
+
+    def test_no_filter_no_simplification(self):
+        gb, _, _ = loj_under_groupby()
+        assert join_kinds(simplify_outerjoins(gb)) == [JoinKind.LEFT_OUTER]
+
+    def test_count_filter_does_not_derive(self):
+        """count never yields NULL — rejection on it derives nothing."""
+        gb, agg_out, _ = loj_under_groupby(AggregateFunction.COUNT)
+        tree = Select(gb, Comparison("<", Literal(0),
+                                     ColumnRef(agg_out)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.LEFT_OUTER]
+
+    def test_count_star_guard_blocks(self):
+        """A count(*) alongside the filtered sum counts padded rows; the
+        guard machinery must block the conversion (coarser grouping could
+        otherwise change the count)."""
+        cnt = Column("cnt", DataType.INTEGER)
+        gb, agg_out, _ = loj_under_groupby(
+            extra_aggs=[(cnt, AggregateCall(AggregateFunction.COUNT_STAR))])
+        tree = Select(gb, Comparison("<", Literal(1000000.0),
+                                     ColumnRef(agg_out)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.LEFT_OUTER]
+
+    def test_companion_strict_aggregate_allows(self):
+        """A second aggregate over another inner column is padded-row
+        insensitive, so the conversion may proceed."""
+        orders_cols = None
+        cust, (ck, cn, cnk) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+        x = Column("x", DataType.FLOAT)
+        y = Column("y", DataType.INTEGER)
+        gb = GroupBy(loj, [ck], [
+            (x, AggregateCall(AggregateFunction.SUM, ColumnRef(price))),
+            (y, AggregateCall(AggregateFunction.MAX, ColumnRef(ok)))])
+        tree = Select(gb, Comparison("<", Literal(10.0), ColumnRef(x)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.INNER]
+
+    def test_derivation_through_project(self):
+        """A computed projection between filter and GroupBy remaps the
+        rejected column through strict expressions."""
+        from repro.algebra import Arithmetic
+
+        gb, agg_out, _ = loj_under_groupby()
+        scaled = Column("scaled", DataType.FLOAT)
+        project = Project.extend(gb, [(scaled, Arithmetic(
+            "*", ColumnRef(agg_out), Literal(2.0)))])
+        tree = Select(project, Comparison("<", Literal(100.0),
+                                          ColumnRef(scaled)))
+        assert join_kinds(simplify_outerjoins(tree)) == [JoinKind.INNER]
+
+
+class TestApplyConversion:
+    def test_apply_loj_converts_to_inner(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        apply_op = Apply(JoinKind.LEFT_OUTER, cust, orders,
+                         equals(ock, ck))
+        tree = Select(apply_op, Comparison(">", ColumnRef(price),
+                                           Literal(0.0)))
+        simplified = simplify_outerjoins(tree)
+        applies = collect_nodes(simplified,
+                                lambda n: isinstance(n, Apply))
+        assert applies[0].kind is JoinKind.INNER
+
+    def test_guarded_apply_never_converts(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        guard = Comparison(">", ColumnRef(ck), Literal(0))
+        apply_op = Apply(JoinKind.LEFT_OUTER, cust, orders,
+                         equals(ock, ck), guard=guard)
+        tree = Select(apply_op, Comparison(">", ColumnRef(price),
+                                           Literal(0.0)))
+        simplified = simplify_outerjoins(tree)
+        applies = collect_nodes(simplified,
+                                lambda n: isinstance(n, Apply))
+        assert applies[0].kind is JoinKind.LEFT_OUTER
+
+    def test_top_blocks_propagation(self):
+        from repro.algebra import Top
+
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        loj = Join(JoinKind.LEFT_OUTER, cust, orders, equals(ock, ck))
+        tree = Select(Top(loj, 2), Comparison(">", ColumnRef(price),
+                                              Literal(0.0)))
+        assert JoinKind.LEFT_OUTER in join_kinds(simplify_outerjoins(tree))

@@ -1,0 +1,375 @@
+"""Unit tests for the physical executor, one per operator, plus a
+hypothesis differential between the compiled expression evaluator and the
+naive interpreter's scalar evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (AggregateCall, AggregateFunction, Arithmetic,
+                           And, Case, Column, ColumnRef, Comparison,
+                           DataType, InList, IsNull, JoinKind, Like,
+                           Literal, Negate, Not, Or, equals)
+from repro.catalog import ColumnDef, TableDef
+from repro.errors import ExecutionError, SubqueryReturnedMultipleRows
+from repro.executor.expressions import build_layout, compile_expr
+from repro.executor.naive import NaiveInterpreter
+from repro.executor.physical import ExecutionContext, PhysicalExecutor
+from repro.physical.plan import (PConstantScan, PDifference, PFilter,
+                                 PHashAggregate, PHashJoin, PIndexSeek,
+                                 PMax1row, PNestedLoopsJoin, PNLApply,
+                                 PProject, PScalarAggregate, PSegmentApply,
+                                 PSegmentRef, PSort, PStreamAggregate,
+                                 PTableScan, PTop, PUnionAll)
+from repro.storage import Storage
+
+
+def make_storage():
+    storage = Storage()
+    table = storage.create(TableDef(
+        "t",
+        [ColumnDef("id", DataType.INTEGER, False),
+         ColumnDef("grp", DataType.INTEGER, False),
+         ColumnDef("val", DataType.INTEGER, True)],
+        primary_key=("id",)))
+    table.insert_many([
+        (1, 10, 5), (2, 10, None), (3, 20, 7), (4, 20, 3), (5, 30, None)])
+    return storage
+
+
+def cols():
+    return (Column("id", DataType.INTEGER, False),
+            Column("grp", DataType.INTEGER, False),
+            Column("val", DataType.INTEGER, True))
+
+
+class TestScansAndFilters:
+    def test_table_scan(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        plan = PTableScan("t", [cid, cgrp, cval])
+        rows = PhysicalExecutor(storage).run(plan)
+        assert len(rows) == 5
+
+    def test_constant_scan(self):
+        c = Column("x", DataType.INTEGER, False)
+        plan = PConstantScan([c], [(1,), (2,)])
+        assert PhysicalExecutor(Storage()).run(plan) == [(1,), (2,)]
+
+    def test_filter_three_valued(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        plan = PFilter(scan, Comparison(">", ColumnRef(cval), Literal(4)))
+        rows = PhysicalExecutor(storage).run(plan)
+        # NULL val rows are dropped (UNKNOWN ≠ TRUE)
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_project_computes(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        doubled = Column("d", DataType.INTEGER)
+        plan = PProject(scan, [(doubled, Arithmetic(
+            "*", ColumnRef(cid), Literal(2)))])
+        rows = PhysicalExecutor(storage).run(plan)
+        assert sorted(r[0] for r in rows) == [2, 4, 6, 8, 10]
+
+    def test_index_seek_on_pk(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        plan = PIndexSeek("t", [cid, cgrp, cval], [cid], [Literal(3)])
+        rows = PhysicalExecutor(storage).run(plan)
+        assert rows == [(3, 20, 7)]
+
+    def test_index_seek_missing_index(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        plan = PIndexSeek("t", [cid, cgrp, cval], [cgrp], [Literal(10)])
+        with pytest.raises(ExecutionError, match="no index"):
+            PhysicalExecutor(storage).run(plan)
+
+    def test_index_seek_residual(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        plan = PIndexSeek("t", [cid, cgrp, cval], [cid], [Literal(2)],
+                          residual=IsNull(ColumnRef(cval)))
+        assert PhysicalExecutor(storage).run(plan) == [(2, 10, None)]
+
+
+class TestJoins:
+    def _scan_pair(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        c2 = (Column("id", DataType.INTEGER, False),
+              Column("grp", DataType.INTEGER, False),
+              Column("val", DataType.INTEGER, True))
+        left = PTableScan("t", [cid, cgrp, cval])
+        right = PTableScan("t", list(c2))
+        return storage, left, right, (cid, cgrp, cval), c2
+
+    def test_hash_join_inner(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        plan = PHashJoin(JoinKind.INNER, left, right,
+                         [ColumnRef(cgrp)], [ColumnRef(c2[1])])
+        rows = PhysicalExecutor(storage).run(plan)
+        # groups of sizes 2,2,1 → 4+4+1 pairs
+        assert len(rows) == 9
+
+    def test_hash_join_null_keys_never_match(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        plan = PHashJoin(JoinKind.INNER, left, right,
+                         [ColumnRef(cval)], [ColumnRef(c2[2])])
+        rows = PhysicalExecutor(storage).run(plan)
+        # non-null vals are unique → each matches itself only
+        assert len(rows) == 3
+
+    def test_hash_join_left_outer_pads(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        plan = PHashJoin(JoinKind.LEFT_OUTER, left, right,
+                         [ColumnRef(cval)], [ColumnRef(c2[2])])
+        rows = PhysicalExecutor(storage).run(plan)
+        padded = [r for r in rows if r[3] is None]
+        assert len(rows) == 5 and len(padded) == 2
+
+    def test_hash_join_semi_anti(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        semi = PHashJoin(JoinKind.LEFT_SEMI, left, right,
+                         [ColumnRef(cval)], [ColumnRef(c2[2])])
+        anti = PHashJoin(JoinKind.LEFT_ANTI, left, right,
+                         [ColumnRef(cval)], [ColumnRef(c2[2])])
+        executor = PhysicalExecutor(storage)
+        assert len(executor.run(semi)) == 3
+        assert len(executor.run(anti)) == 2
+        assert len(executor.run(semi)[0]) == 3  # left schema only
+
+    def test_hash_join_residual(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        plan = PHashJoin(JoinKind.INNER, left, right,
+                         [ColumnRef(cgrp)], [ColumnRef(c2[1])],
+                         residual=Comparison("<", ColumnRef(cid),
+                                             ColumnRef(c2[0])))
+        rows = PhysicalExecutor(storage).run(plan)
+        assert all(r[0] < r[3] for r in rows)
+
+    def test_nested_loops_non_equi(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        plan = PNestedLoopsJoin(JoinKind.INNER, left, right,
+                                Comparison("<", ColumnRef(cid),
+                                           ColumnRef(c2[0])))
+        rows = PhysicalExecutor(storage).run(plan)
+        assert len(rows) == 10  # C(5,2)
+
+    def test_nl_apply_binds_parameters(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        # inner side: filter on the OUTER row's id (a parameter)
+        inner = PFilter(right, Comparison("=", ColumnRef(c2[0]),
+                                          ColumnRef(cid)))
+        plan = PNLApply(JoinKind.INNER, left, inner)
+        rows = PhysicalExecutor(storage).run(plan)
+        assert len(rows) == 5
+        assert all(r[0] == r[3] for r in rows)
+
+    def test_nl_apply_left_outer_guard(self):
+        storage, left, right, (cid, cgrp, cval), c2 = self._scan_pair()
+        inner = PFilter(right, Comparison("=", ColumnRef(c2[0]),
+                                          ColumnRef(cid)))
+        guard = Comparison("<", ColumnRef(cid), Literal(3))
+        plan = PNLApply(JoinKind.LEFT_OUTER, left, inner, guard=guard)
+        rows = PhysicalExecutor(storage).run(plan)
+        assert len(rows) == 5
+        matched = [r for r in rows if r[3] is not None]
+        assert sorted(r[0] for r in matched) == [1, 2]  # guard passed only
+
+
+class TestAggregation:
+    def test_scalar_aggregate(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        out = Column("s", DataType.INTEGER)
+        cnt = Column("c", DataType.INTEGER)
+        plan = PScalarAggregate(scan, [
+            (out, AggregateCall(AggregateFunction.SUM, ColumnRef(cval))),
+            (cnt, AggregateCall(AggregateFunction.COUNT_STAR))])
+        assert PhysicalExecutor(storage).run(plan) == [(15, 5)]
+
+    def test_scalar_aggregate_empty_input(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        filtered = PFilter(scan, Literal(False))
+        out = Column("s", DataType.INTEGER)
+        cnt = Column("c", DataType.INTEGER)
+        plan = PScalarAggregate(filtered, [
+            (out, AggregateCall(AggregateFunction.SUM, ColumnRef(cval))),
+            (cnt, AggregateCall(AggregateFunction.COUNT_STAR))])
+        assert PhysicalExecutor(storage).run(plan) == [(None, 0)]
+
+    def test_hash_aggregate_groups(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        out = Column("s", DataType.INTEGER)
+        plan = PHashAggregate(scan, [cgrp], [
+            (out, AggregateCall(AggregateFunction.SUM, ColumnRef(cval)))])
+        rows = dict(PhysicalExecutor(storage).run(plan))
+        assert rows == {10: 5, 20: 10, 30: None}
+
+    def test_stream_aggregate_matches_hash(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        out = Column("s", DataType.INTEGER)
+        agg = [(out, AggregateCall(AggregateFunction.SUM, ColumnRef(cval)))]
+        hashed = PHashAggregate(scan, [cgrp], agg)
+        streamed = PStreamAggregate(
+            PSort(scan, [(ColumnRef(cgrp), True)]), [cgrp], agg)
+        executor = PhysicalExecutor(storage)
+        assert sorted(executor.run(hashed)) == sorted(executor.run(streamed))
+
+    def test_stream_aggregate_empty(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PFilter(PTableScan("t", [cid, cgrp, cval]), Literal(False))
+        out = Column("s", DataType.INTEGER)
+        plan = PStreamAggregate(
+            PSort(scan, [(ColumnRef(cgrp), True)]), [cgrp],
+            [(out, AggregateCall(AggregateFunction.SUM, ColumnRef(cval)))])
+        assert PhysicalExecutor(storage).run(plan) == []
+
+    def test_distinct_aggregate(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        out = Column("c", DataType.INTEGER)
+        plan = PScalarAggregate(scan, [
+            (out, AggregateCall(AggregateFunction.COUNT, ColumnRef(cgrp),
+                                distinct=True))])
+        assert PhysicalExecutor(storage).run(plan) == [(3,)]
+
+
+class TestMiscOperators:
+    def test_sort_and_top(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        plan = PTop(PSort(scan, [(ColumnRef(cval), False)]), 2)
+        rows = PhysicalExecutor(storage).run(plan)
+        assert [r[2] for r in rows] == [7, 5]
+
+    def test_sort_nulls_first_ascending(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        plan = PSort(scan, [(ColumnRef(cval), True)])
+        rows = PhysicalExecutor(storage).run(plan)
+        assert rows[0][2] is None and rows[1][2] is None
+
+    def test_max1row(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        single = PMax1row(PFilter(scan, equals(cid, Literal(1))))
+        assert len(PhysicalExecutor(storage).run(single)) == 1
+        multi = PMax1row(scan)
+        with pytest.raises(SubqueryReturnedMultipleRows):
+            PhysicalExecutor(storage).run(multi)
+
+    def test_union_all_remaps(self):
+        c1 = Column("x", DataType.INTEGER, False)
+        c2 = Column("y", DataType.INTEGER, False)
+        out = Column("z", DataType.INTEGER, False)
+        a = PConstantScan([c1], [(1,)])
+        b = PConstantScan([c2], [(2,), (3,)])
+        plan = PUnionAll([a, b], [out], [[c1], [c2]])
+        assert sorted(PhysicalExecutor(Storage()).run(plan)) == \
+            [(1,), (2,), (3,)]
+
+    def test_difference_bag_semantics(self):
+        c1 = Column("x", DataType.INTEGER, False)
+        c2 = Column("y", DataType.INTEGER, False)
+        out = Column("z", DataType.INTEGER, False)
+        a = PConstantScan([c1], [(1,), (1,), (2,)])
+        b = PConstantScan([c2], [(1,)])
+        plan = PDifference(a, b, [out], [c1], [c2])
+        assert sorted(PhysicalExecutor(Storage()).run(plan)) == \
+            [(1,), (2,)]
+
+    def test_segment_apply_per_segment(self):
+        storage = make_storage()
+        cid, cgrp, cval = cols()
+        scan = PTableScan("t", [cid, cgrp, cval])
+        mirrors = [c.fresh_copy() for c in (cid, cgrp, cval)]
+        ref = PSegmentRef(mirrors)
+        out = Column("c", DataType.INTEGER)
+        inner = PScalarAggregate(ref, [
+            (out, AggregateCall(AggregateFunction.COUNT_STAR))])
+        plan = PSegmentApply(scan, inner, [cgrp], mirrors)
+        rows = dict(PhysicalExecutor(storage).run(plan))
+        assert rows == {10: 2, 20: 2, 30: 1}
+
+    def test_segment_ref_outside_raises(self):
+        mirrors = [Column("m", DataType.INTEGER)]
+        plan = PSegmentRef(mirrors)
+        with pytest.raises(ExecutionError, match="segment"):
+            PhysicalExecutor(Storage()).run(plan)
+
+
+# ---------------------------------------------------------------------------
+# Compiled expressions vs. the naive interpreter's evaluator
+# ---------------------------------------------------------------------------
+
+values3 = st.one_of(st.none(), st.integers(-3, 3))
+
+
+def expr_strategy(columns):
+    refs = st.sampled_from([ColumnRef(c) for c in columns])
+    literals = st.builds(Literal, st.one_of(st.integers(-3, 3),
+                                            st.booleans()))
+    base = st.one_of(refs, literals)
+
+    def extend(children):
+        ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+        arith = st.sampled_from(["+", "-", "*"])
+        return st.one_of(
+            st.builds(lambda o, l, r: Comparison(o, l, r), ops,
+                      refs, refs),
+            st.builds(lambda o, l, r: Arithmetic(o, l, r), arith,
+                      refs, refs),
+            st.builds(lambda a: IsNull(a), refs),
+            st.builds(lambda a: Negate(a), refs),
+            st.builds(lambda c, v, e: Case([(c, v)], e),
+                      children.filter(_is_boolean), refs, refs),
+            st.builds(lambda a, b: And([a, b]),
+                      children.filter(_is_boolean),
+                      children.filter(_is_boolean)),
+            st.builds(lambda a, b: Or([a, b]),
+                      children.filter(_is_boolean),
+                      children.filter(_is_boolean)),
+            st.builds(lambda a: Not(a), children.filter(_is_boolean)),
+            st.builds(lambda a, vs: InList(a, vs),
+                      refs, st.lists(values3, min_size=1, max_size=3)),
+        )
+
+    return st.recursive(
+        st.builds(lambda c: Comparison("=", ColumnRef(columns[0]), c),
+                  literals),
+        extend, max_leaves=8)
+
+
+def _is_boolean(expr):
+    return expr.dtype is DataType.BOOLEAN
+
+
+class TestExpressionCompilerDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data(), row=st.tuples(values3, values3, values3))
+    def test_compiled_matches_naive(self, data, row):
+        columns = [Column(n, DataType.INTEGER, True) for n in "abc"]
+        expr = data.draw(expr_strategy(columns))
+        layout = build_layout(columns)
+        compiled = compile_expr(expr, layout)
+        env = {c.cid: v for c, v in zip(columns, row)}
+        naive = NaiveInterpreter(lambda name: [])
+        assert compiled(tuple(row), {}) == naive.scalar(expr, env)

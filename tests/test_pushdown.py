@@ -1,0 +1,131 @@
+"""Dedicated tests for selection pushdown and OR-conjunct factoring."""
+
+import pytest
+
+from repro.algebra import (And, Column, ColumnRef, Comparison, DataType,
+                           Get, Join, JoinKind, Literal, Max1row, Or,
+                           Select, Top, collect_nodes, conjunction, equals)
+from repro.core.optimizer.pushdown import factor_conjuncts, push_selections
+
+from .helpers import customer_scan, orders_scan
+
+
+def cmp(col, op, value):
+    return Comparison(op, ColumnRef(col), Literal(value))
+
+
+class TestFactorConjuncts:
+    def _cols(self):
+        a = Column("a", DataType.INTEGER)
+        b = Column("b", DataType.INTEGER)
+        return a, b
+
+    def test_common_conjunct_hoisted(self):
+        a, b = self._cols()
+        common = cmp(a, "=", 1)
+        part = Or([And([common, cmp(b, "=", 2)]),
+                   And([common, cmp(b, "=", 3)])])
+        result = factor_conjuncts([part])
+        assert common in result
+        assert len(result) == 2  # common + residual OR
+
+    def test_flattens_nested_or(self):
+        a, b = self._cols()
+        common = cmp(a, "=", 1)
+        nested = Or([Or([And([common, cmp(b, "=", 2)]),
+                         And([common, cmp(b, "=", 3)])]),
+                     And([common, cmp(b, "=", 4)])])
+        result = factor_conjuncts([nested])
+        assert common in result
+
+    def test_no_common_part_untouched(self):
+        a, b = self._cols()
+        part = Or([cmp(a, "=", 1), cmp(b, "=", 2)])
+        assert factor_conjuncts([part]) == [part]
+
+    def test_whole_branch_common(self):
+        """(A) ∨ (A ∧ q) reduces to A (the residual OR carries TRUE)."""
+        from repro.algebra import conjunction
+        from repro.executor.naive import NaiveInterpreter
+
+        a, b = self._cols()
+        common = cmp(a, ">", 0)
+        part = Or([common, And([common, cmp(b, "=", 1)])])
+        factored = conjunction(factor_conjuncts([part]))
+        interp = NaiveInterpreter(lambda name: [])
+        for a_val in (None, 0, 1):
+            for b_val in (None, 1, 2):
+                env = {a.cid: a_val, b.cid: b_val}
+                assert interp.scalar(part, env) == \
+                    interp.scalar(factored, env)
+
+    def test_non_or_conjuncts_pass_through(self):
+        a, b = self._cols()
+        parts = [cmp(a, "=", 1), cmp(b, "<", 5)]
+        assert factor_conjuncts(parts) == parts
+
+
+class TestPushdownStructure:
+    def test_q19_shape_exposes_equijoin(self):
+        """The Q19 pattern: OR of ANDs each containing the same equality
+        conjunct — after factoring the join gets an equi predicate."""
+        li, (lk, lqty, lprice) = _li()
+        part, (pk, psize) = _part()
+        branch1 = And([equals(pk, lk), cmp(lqty, "<", 10),
+                       cmp(psize, "<", 5)])
+        branch2 = And([equals(pk, lk), cmp(lqty, ">=", 10),
+                       cmp(psize, ">=", 5)])
+        tree = Select(Join.cross(li, part), Or([branch1, branch2]))
+        pushed = push_selections(tree)
+        (join,) = collect_nodes(pushed, lambda n: isinstance(n, Join))
+        assert join.predicate is not None
+        assert "=" in join.predicate.sql()
+
+    def test_blocked_below_top(self):
+        cust, (ck, _, _) = customer_scan()
+        tree = Select(Top(cust, 2), equals(ck, Literal(1)))
+        pushed = push_selections(tree)
+        assert isinstance(pushed, Select)
+        assert isinstance(pushed.child, Top)
+
+    def test_blocked_below_max1row(self):
+        cust, (ck, _, _) = customer_scan()
+        tree = Select(Max1row(cust), equals(ck, Literal(1)))
+        pushed = push_selections(tree)
+        assert isinstance(pushed, Select)
+        assert isinstance(pushed.child, Max1row)
+
+    def test_semi_join_on_clause_right_side_sinks(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, price) = orders_scan()
+        pred = And([equals(ock, ck), cmp(price, ">", 10.0)])
+        tree = Join(JoinKind.LEFT_SEMI, cust, orders, pred)
+        pushed = push_selections(tree)
+        (join,) = collect_nodes(pushed, lambda n: isinstance(n, Join)
+                                and n.kind is JoinKind.LEFT_SEMI)
+        assert isinstance(join.right, Select)
+
+    def test_union_branch_translation(self):
+        from repro.algebra import UnionAll
+
+        a = Get("a", [Column("x", DataType.INTEGER, False)], [])
+        b = Get("b", [Column("y", DataType.INTEGER, False)], [])
+        union = UnionAll.from_inputs([a, b])
+        (out,) = union.output_columns()
+        tree = Select(union, cmp(out, ">", 3))
+        pushed = push_selections(tree)
+        selects = collect_nodes(pushed, lambda n: isinstance(n, Select))
+        assert len(selects) == 2  # one per branch, remapped
+
+
+def _li():
+    lk = Column("l_partkey", DataType.INTEGER, False)
+    lqty = Column("l_quantity", DataType.INTEGER, False)
+    lprice = Column("l_price", DataType.FLOAT, False)
+    return Get("lineitem", [lk, lqty, lprice], []), (lk, lqty, lprice)
+
+
+def _part():
+    pk = Column("p_partkey", DataType.INTEGER, False)
+    psize = Column("p_size", DataType.INTEGER, False)
+    return Get("part", [pk, psize], [[pk]]), (pk, psize)

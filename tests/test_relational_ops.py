@@ -1,0 +1,251 @@
+"""Unit tests for relational operator structure and correlation analysis."""
+
+import pytest
+
+from repro.algebra import (AggregateCall, AggregateFunction, Apply, Column,
+                           ColumnRef, ColumnSet, Comparison, ConstantScan,
+                           DataType, Difference, Get, GroupBy, Join, JoinKind,
+                           Literal, LocalGroupBy, Max1row, Project,
+                           RelationalOp, ScalarGroupBy, SegmentApply,
+                           SegmentRef, Select, Sort, Top, UnionAll,
+                           clone_with_fresh_columns, collect_nodes, equals,
+                           explain, substitute_outer_columns)
+from repro.algebra.scalar import ScalarSubquery
+
+from .helpers import customer_scan, orders_scan
+
+
+class TestSchemas:
+    def test_get_outputs_and_keys(self):
+        get, (ck, cn, cnk) = customer_scan()
+        assert get.output_columns() == [ck, cn, cnk]
+        assert get.key_columns == [(ck,)]
+
+    def test_select_passes_schema(self):
+        get, (ck, _, _) = customer_scan()
+        sel = Select(get, equals(ck, Literal(1)))
+        assert sel.output_columns() == get.output_columns()
+
+    def test_project_schema_and_passthrough(self):
+        get, (ck, cn, _) = customer_scan()
+        doubled = Column("doubled", DataType.INTEGER, nullable=False)
+        proj = Project(get, [(ck, ColumnRef(ck)),
+                             (doubled, ColumnRef(ck))])
+        assert proj.output_columns() == [ck, doubled]
+        assert proj.produced_columns() == [doubled]
+        assert not proj.is_pure_passthrough()
+        assert Project.passthrough(get, [ck, cn]).is_pure_passthrough()
+
+    def test_join_inner_concatenates(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (ok, ock, _) = orders_scan()
+        join = Join(JoinKind.INNER, cust, orders, equals(ock, ck))
+        assert join.output_columns() == cust.output_columns() + orders.output_columns()
+
+    def test_left_outer_join_makes_right_nullable(self):
+        cust, _ = customer_scan()
+        orders, _ = orders_scan()
+        join = Join(JoinKind.LEFT_OUTER, cust, orders)
+        right_part = join.output_columns()[len(cust.output_columns()):]
+        assert all(c.nullable for c in right_part)
+        # but identities preserved
+        assert [c.cid for c in right_part] == [c.cid for c in orders.output_columns()]
+
+    def test_semi_join_outputs_left_only(self):
+        cust, _ = customer_scan()
+        orders, _ = orders_scan()
+        for kind in (JoinKind.LEFT_SEMI, JoinKind.LEFT_ANTI):
+            join = Join(kind, cust, orders)
+            assert join.output_columns() == cust.output_columns()
+
+    def test_groupby_schema(self):
+        orders, (ok, ock, price) = orders_scan()
+        total = Column("total", DataType.FLOAT)
+        gb = GroupBy(orders, [ock],
+                     [(total, AggregateCall(AggregateFunction.SUM,
+                                            ColumnRef(price)))])
+        assert gb.output_columns() == [ock, total]
+        assert gb.produced_columns() == [total]
+
+    def test_scalar_groupby_has_no_groups(self):
+        orders, (_, _, price) = orders_scan()
+        total = Column("total", DataType.FLOAT)
+        gb = ScalarGroupBy(orders, [(total, AggregateCall(
+            AggregateFunction.SUM, ColumnRef(price)))])
+        assert gb.group_columns == []
+        assert gb.output_columns() == [total]
+
+    def test_union_all_from_inputs(self):
+        a = ConstantScan([Column("x", DataType.INTEGER, False)], [(1,)])
+        b = ConstantScan([Column("y", DataType.INTEGER, True)], [(2,)])
+        union = UnionAll.from_inputs([a, b])
+        (out,) = union.output_columns()
+        assert out.nullable  # nullable because one input is nullable
+        assert out.cid not in {a.columns[0].cid, b.columns[0].cid}
+
+    def test_union_all_width_mismatch_rejected(self):
+        a = ConstantScan([Column("x", DataType.INTEGER)], [(1,)])
+        b = ConstantScan([Column("y", DataType.INTEGER)], [(2,)])
+        with pytest.raises(ValueError):
+            UnionAll([a, b], [Column("z", DataType.INTEGER)],
+                     [[a.columns[0]], []])
+
+    def test_constant_scan_row_width_checked(self):
+        with pytest.raises(ValueError):
+            ConstantScan([Column("x", DataType.INTEGER)], [(1, 2)])
+
+    def test_top_negative_rejected(self):
+        get, _ = customer_scan()
+        with pytest.raises(ValueError):
+            Top(get, -1)
+
+
+class TestCorrelationAnalysis:
+    def test_uncorrelated_tree_has_no_outer_refs(self):
+        get, (ck, _, _) = customer_scan()
+        sel = Select(get, equals(ck, Literal(1)))
+        assert not sel.outer_references()
+
+    def test_correlated_select_reports_parameter(self):
+        _, (ck, _, _) = customer_scan()
+        orders, (_, ock, _) = orders_scan()
+        correlated = Select(orders, equals(ock, ck))
+        assert ck in correlated.outer_references()
+        assert ock not in correlated.outer_references()
+
+    def test_apply_resolves_parameters_from_left(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (_, ock, _) = orders_scan()
+        inner = Select(orders, equals(ock, ck))
+        apply = Apply(JoinKind.INNER, cust, inner)
+        assert not apply.outer_references()
+        assert apply.is_correlated()
+        assert ck in apply.correlation_columns()
+
+    def test_nested_apply_correlation(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (_, ock, _) = orders_scan()
+        orders2, (_, ock2, _) = orders_scan()
+        inner_inner = Select(orders2, equals(ock2, ck))
+        inner = Apply(JoinKind.INNER, Select(orders, equals(ock, ck)),
+                      inner_inner)
+        top = Apply(JoinKind.INNER, cust, inner)
+        assert not top.outer_references()
+        assert inner.is_correlated_with([ck])
+
+    def test_groupby_group_columns_count_as_references(self):
+        _, (ck, _, _) = customer_scan()
+        orders, (_, ock, price) = orders_scan()
+        total = Column("total", DataType.FLOAT)
+        # grouping by an outer column: must surface as outer reference
+        gb = GroupBy(orders, [ck], [(total, AggregateCall(
+            AggregateFunction.SUM, ColumnRef(price)))])
+        assert ck in gb.outer_references()
+
+    def test_subquery_inside_scalar_counts(self):
+        cust, (ck, _, _) = customer_scan()
+        orders, (_, ock, price) = orders_scan()
+        total = Column("total", DataType.FLOAT)
+        sub = ScalarGroupBy(Select(orders, equals(ock, ck)),
+                            [(total, AggregateCall(AggregateFunction.SUM,
+                                                   ColumnRef(price)))])
+        pred = Comparison("<", Literal(100), ScalarSubquery(sub))
+        sel = Select(cust, pred)
+        assert sel.contains_subquery()
+        assert not sel.outer_references()  # ck resolved from customer
+
+
+class TestSegmentApply:
+    def _make(self):
+        left, (ok, ock, price) = orders_scan()
+        inner_cols = [c.fresh_copy() for c in left.output_columns()]
+        seg_ref = SegmentRef(inner_cols)
+        right = Select(seg_ref, Comparison(
+            "<", ColumnRef(inner_cols[2]), Literal(100.0)))
+        sa = SegmentApply(left, right, [ock], inner_cols)
+        return sa, left, inner_cols, ock
+
+    def test_output_schema(self):
+        sa, left, inner_cols, ock = self._make()
+        assert sa.output_columns() == [ock] + sa.right.output_columns()
+
+    def test_segment_column_mapping(self):
+        sa, left, inner_cols, ock = self._make()
+        assert sa.segment_column_for(left.output_columns()[0]) == inner_cols[0]
+        with pytest.raises(KeyError):
+            sa.segment_column_for(Column("zz", DataType.INTEGER))
+
+    def test_width_mismatch_rejected(self):
+        left, _ = orders_scan()
+        ref = SegmentRef([Column("only_one", DataType.INTEGER)])
+        with pytest.raises(ValueError):
+            SegmentApply(left, ref, [], ref.columns)
+
+    def test_no_outer_references(self):
+        sa, *_ = self._make()
+        assert not sa.outer_references()
+
+
+class TestTreeUtilities:
+    def test_substitute_outer_columns(self):
+        _, (ck, _, _) = customer_scan()
+        orders, (_, ock, _) = orders_scan()
+        replacement = Column("param", DataType.INTEGER, False)
+        correlated = Select(orders, equals(ock, ck))
+        rewritten = substitute_outer_columns(
+            correlated, {ck.cid: ColumnRef(replacement)})
+        assert replacement in rewritten.outer_references()
+        assert ck not in rewritten.outer_references()
+        # original untouched (immutability)
+        assert ck in correlated.outer_references()
+
+    def test_clone_with_fresh_columns_disjoint(self):
+        orders, (ok, ock, price) = orders_scan()
+        total = Column("total", DataType.FLOAT)
+        gb = GroupBy(Select(orders, Comparison("<", ColumnRef(price),
+                                               Literal(10.0))),
+                     [ock],
+                     [(total, AggregateCall(AggregateFunction.SUM,
+                                            ColumnRef(price)))])
+        clone, mapping = clone_with_fresh_columns(gb)
+        original_ids = {c.cid for c in gb.output_columns()}
+        clone_ids = {c.cid for c in clone.output_columns()}
+        assert original_ids.isdisjoint(clone_ids)
+        assert mapping[ock.cid].cid in clone_ids
+        assert mapping[total.cid].cid in clone_ids
+        # clone is self-contained
+        assert not clone.outer_references()
+
+    def test_clone_preserves_outer_references(self):
+        _, (ck, _, _) = customer_scan()
+        orders, (_, ock, _) = orders_scan()
+        correlated = Select(orders, equals(ock, ck))
+        clone, _ = clone_with_fresh_columns(correlated)
+        assert ck in clone.outer_references()
+
+    def test_clone_segment_apply(self):
+        left, (ok, ock, price) = orders_scan()
+        inner_cols = [c.fresh_copy() for c in left.output_columns()]
+        right = Select(SegmentRef(inner_cols),
+                       Comparison("<", ColumnRef(inner_cols[2]),
+                                  Literal(10.0)))
+        sa = SegmentApply(left, right, [ock], inner_cols)
+        clone, mapping = clone_with_fresh_columns(sa)
+        assert isinstance(clone, SegmentApply)
+        new_refs = collect_nodes(clone, lambda n: isinstance(n, SegmentRef))
+        assert len(new_refs) == 1
+        assert clone.inner_columns == new_refs[0].columns
+        assert not clone.outer_references()
+
+    def test_collect_nodes(self):
+        get, (ck, _, _) = customer_scan()
+        sel = Select(get, equals(ck, Literal(1)))
+        assert collect_nodes(sel) == [sel, get]
+        assert collect_nodes(sel, lambda n: isinstance(n, Get)) == [get]
+
+    def test_explain_renders_tree(self):
+        get, (ck, _, _) = customer_scan()
+        sel = Select(get, equals(ck, Literal(1)))
+        text = explain(sel)
+        assert "Select" in text and "Get(customer)" in text
+        assert text.index("Select") < text.index("Get")

@@ -1,0 +1,152 @@
+"""Unit tests for scalar expression node mechanics."""
+
+import pytest
+
+from repro.algebra import (AggregateCall, AggregateFunction, And,
+                           Arithmetic, Case, Column, ColumnRef, Comparison,
+                           DataType, InList, IsNull, Like, Literal, Negate,
+                           Not, Or, conjunction, conjuncts, disjuncts,
+                           equals)
+from repro.algebra.scalar import column_equalities
+
+
+def col(name="a", dtype=DataType.INTEGER, nullable=True):
+    return Column(name, dtype, nullable)
+
+
+class TestStructure:
+    def test_with_children_roundtrip(self):
+        a, b = col("a"), col("b")
+        expr = Comparison("<", ColumnRef(a), ColumnRef(b))
+        rebuilt = expr.with_children((ColumnRef(b), ColumnRef(a)))
+        assert rebuilt.sql() == f"{ColumnRef(b).sql()} < {ColumnRef(a).sql()}"
+
+    def test_literal_takes_no_children(self):
+        with pytest.raises(ValueError):
+            Literal(1).with_children((Literal(2),))
+
+    def test_invalid_operators_rejected(self):
+        a = ColumnRef(col())
+        with pytest.raises(ValueError):
+            Comparison("==", a, a)
+        with pytest.raises(ValueError):
+            Arithmetic("%", a, a)
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            And([])
+        with pytest.raises(ValueError):
+            Or([])
+        with pytest.raises(ValueError):
+            Case([])
+
+    def test_count_star_argument_rules(self):
+        with pytest.raises(ValueError):
+            AggregateCall(AggregateFunction.COUNT_STAR, Literal(1))
+        with pytest.raises(ValueError):
+            AggregateCall(AggregateFunction.SUM)
+
+    def test_substitute_columns(self):
+        a, b = col("a"), col("b")
+        expr = Arithmetic("+", ColumnRef(a), Literal(1))
+        substituted = expr.substitute_columns({a.cid: ColumnRef(b)})
+        assert b in substituted.free_columns()
+        assert a not in substituted.free_columns()
+        # no-op substitution returns the same object
+        assert expr.substitute_columns({}) is expr
+
+    def test_structural_equality_and_hash(self):
+        a = col("a")
+        e1 = Comparison("=", ColumnRef(a), Literal(1))
+        e2 = Comparison("=", ColumnRef(a), Literal(1))
+        e3 = Comparison("=", ColumnRef(a), Literal(2))
+        assert e1 == e2 and hash(e1) == hash(e2)
+        assert e1 != e3
+
+    def test_free_columns_through_nesting(self):
+        a, b, c = col("a"), col("b"), col("c")
+        expr = Case([(Comparison("<", ColumnRef(a), ColumnRef(b)),
+                      ColumnRef(c))], Literal(None))
+        assert {x.cid for x in expr.free_columns()} == {a.cid, b.cid, c.cid}
+
+
+class TestTyping:
+    def test_comparison_nullability(self):
+        nn = col("nn", nullable=False)
+        n = col("n", nullable=True)
+        assert not Comparison("=", ColumnRef(nn), Literal(1)).nullable
+        assert Comparison("=", ColumnRef(n), Literal(1)).nullable
+
+    def test_is_null_never_nullable(self):
+        assert not IsNull(ColumnRef(col())).nullable
+
+    def test_arithmetic_types(self):
+        i = ColumnRef(col("i", DataType.INTEGER))
+        f = ColumnRef(col("f", DataType.FLOAT))
+        assert Arithmetic("+", i, i).dtype is DataType.INTEGER
+        assert Arithmetic("+", i, f).dtype is DataType.FLOAT
+        assert Arithmetic("/", i, i).dtype is DataType.FLOAT
+
+    def test_date_arithmetic_types(self):
+        d = ColumnRef(col("d", DataType.DATE))
+        iv = Literal(__import__("repro.algebra", fromlist=["Interval"])
+                     .Interval(days=3))
+        assert Arithmetic("+", d, iv).dtype is DataType.DATE
+        assert Arithmetic("-", d, d).dtype is DataType.INTEGER
+
+    def test_case_dtype_from_first_branch(self):
+        pred = Comparison("=", Literal(1), Literal(1))
+        case = Case([(pred, Literal("x"))], Literal("y"))
+        assert case.dtype is DataType.VARCHAR
+
+    def test_aggregate_dtypes(self):
+        arg = ColumnRef(col("v", DataType.INTEGER))
+        assert AggregateCall(AggregateFunction.COUNT, arg).dtype \
+            is DataType.INTEGER
+        assert AggregateCall(AggregateFunction.AVG, arg).dtype \
+            is DataType.FLOAT
+        assert AggregateCall(AggregateFunction.SUM, arg).dtype \
+            is DataType.INTEGER
+
+
+class TestHelpers:
+    def test_conjunction_flattens_and_drops_true(self):
+        a = equals(col("a"), Literal(1))
+        b = equals(col("b"), Literal(2))
+        merged = conjunction([And([a, b]), Literal(True), a])
+        assert isinstance(merged, And)
+        assert len(merged.args) == 3
+
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) == Literal(True)
+
+    def test_conjuncts_flatten_nested(self):
+        a = equals(col("a"), Literal(1))
+        b = equals(col("b"), Literal(2))
+        c = equals(col("c"), Literal(3))
+        assert len(conjuncts(And([And([a, b]), c]))) == 3
+
+    def test_disjuncts_flatten_nested(self):
+        a = equals(col("a"), Literal(1))
+        b = equals(col("b"), Literal(2))
+        c = equals(col("c"), Literal(3))
+        assert len(disjuncts(Or([Or([a, b]), c]))) == 3
+
+    def test_column_equalities(self):
+        a, b, c = col("a"), col("b"), col("c")
+        pred = And([equals(a, b), Comparison("<", ColumnRef(c), Literal(1)),
+                    equals(c, Literal(5))])
+        pairs = column_equalities(pred)
+        assert pairs == [(a, b)]
+
+    def test_sql_rendering(self):
+        a = col("a")
+        expr = Not(And([IsNull(ColumnRef(a)),
+                        InList(ColumnRef(a), [1, 2], negated=True)]))
+        text = expr.sql()
+        assert "NOT" in text and "IS NULL" in text and "NOT IN" in text
+
+    def test_like_rendering(self):
+        expr = Like(ColumnRef(col("s", DataType.VARCHAR)), "x%",
+                    negated=True)
+        assert "NOT LIKE 'x%'" in expr.sql()

@@ -1,0 +1,114 @@
+"""Unit tests for the normalization-time simplification pass."""
+
+import pytest
+
+from repro.algebra import (AggregateCall, AggregateFunction, Column,
+                           ColumnRef, Comparison, DataType, Get, GroupBy,
+                           Literal, Max1row, Project, Select, Sort,
+                           collect_nodes, equals)
+from repro.core.normalize import simplify
+
+from .helpers import customer_scan, orders_scan
+
+
+class TestMax1rowElision:
+    def test_elided_for_key_lookup(self):
+        cust, (ck, _, _) = customer_scan()
+        tree = Max1row(Select(cust, equals(ck, Literal(5))))
+        assert not collect_nodes(simplify(tree),
+                                 lambda n: isinstance(n, Max1row))
+
+    def test_kept_for_non_key_lookup(self):
+        cust, (_, cn, _) = customer_scan()
+        tree = Max1row(Select(cust, equals(cn, Literal("x"))))
+        assert collect_nodes(simplify(tree),
+                             lambda n: isinstance(n, Max1row))
+
+
+class TestSelectSimplification:
+    def test_true_select_removed(self):
+        cust, _ = customer_scan()
+        assert simplify(Select(cust, Literal(True))) is cust
+
+    def test_false_select_kept(self):
+        cust, _ = customer_scan()
+        simplified = simplify(Select(cust, Literal(False)))
+        assert isinstance(simplified, Select)
+
+    def test_adjacent_selects_merge(self):
+        cust, (ck, cn, _) = customer_scan()
+        tree = Select(Select(cust, equals(ck, Literal(1))),
+                      equals(cn, Literal("x")))
+        simplified = simplify(tree)
+        selects = collect_nodes(simplified, lambda n: isinstance(n, Select))
+        assert len(selects) == 1
+
+    def test_true_conjunct_dropped(self):
+        from repro.algebra import And
+
+        cust, (ck, _, _) = customer_scan()
+        tree = Select(cust, And([Literal(True), equals(ck, Literal(1))]))
+        simplified = simplify(tree)
+        assert "true" not in simplified.predicate.sql().lower()
+
+
+class TestProjectSimplification:
+    def test_identity_project_removed(self):
+        cust, _ = customer_scan()
+        tree = Project.passthrough(cust, cust.output_columns())
+        assert simplify(tree) is cust
+
+    def test_reordering_project_kept(self):
+        cust, (ck, cn, cnk) = customer_scan()
+        tree = Project.passthrough(cust, [cn, ck, cnk])
+        assert isinstance(simplify(tree), Project)
+
+    def test_stacked_projects_collapse(self):
+        from repro.algebra import Arithmetic
+
+        cust, (ck, cn, cnk) = customer_scan()
+        doubled = Column("doubled", DataType.INTEGER)
+        lower = Project.extend(cust, [(doubled, Arithmetic(
+            "*", ColumnRef(ck), Literal(2)))])
+        upper = Project.passthrough(lower, [doubled, cn])
+        simplified = simplify(upper)
+        projects = collect_nodes(simplified,
+                                 lambda n: isinstance(n, Project))
+        assert len(projects) == 1
+        # the surviving project computes `doubled` inline
+        (proj,) = projects
+        assert proj.child is cust
+
+
+class TestDistinctOverKey:
+    def test_groupby_no_aggs_over_unique_input_removed(self):
+        cust, (ck, cn, _) = customer_scan()
+        distinct = GroupBy(cust, [ck, cn], [])  # ck is a key
+        simplified = simplify(distinct)
+        assert not collect_nodes(simplified,
+                                 lambda n: isinstance(n, GroupBy))
+
+    def test_groupby_no_aggs_kept_when_needed(self):
+        cust, (_, cn, _) = customer_scan()
+        distinct = GroupBy(cust, [cn], [])  # cn is not a key
+        assert collect_nodes(simplify(distinct),
+                             lambda n: isinstance(n, GroupBy))
+
+    def test_real_aggregation_never_removed(self):
+        orders, (_, ock, price) = orders_scan()
+        total = Column("t", DataType.FLOAT)
+        gb = GroupBy(orders, [ock], [(total, AggregateCall(
+            AggregateFunction.SUM, ColumnRef(price)))])
+        assert collect_nodes(simplify(gb),
+                             lambda n: isinstance(n, GroupBy))
+
+
+class TestSortSimplification:
+    def test_sort_over_sort_outer_wins(self):
+        cust, (ck, cn, _) = customer_scan()
+        inner = Sort(cust, [(ColumnRef(cn), True)])
+        outer = Sort(inner, [(ColumnRef(ck), False)])
+        simplified = simplify(outer)
+        sorts = collect_nodes(simplified, lambda n: isinstance(n, Sort))
+        assert len(sorts) == 1
+        assert sorts[0].keys[0][1] is False  # the outer (desc) key

@@ -1,0 +1,102 @@
+"""Spilling hash aggregation — paper footnote 3.
+
+"The implementation, whether hash based or sort based, of aggregate
+functions in a query execution engine requires this ability of splitting
+an aggregate into local and global components, if it has to spill data to
+disk and then recombine it."
+
+The executor's hash aggregate flushes partial-state runs past a group
+threshold and recombines them with the descriptors' local/global merge;
+results must be identical to the unbounded in-memory path.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (AggregateCall, AggregateFunction, Column,
+                           ColumnRef, DataType)
+from repro.catalog import ColumnDef, TableDef
+from repro.executor.physical import PhysicalExecutor
+from repro.physical.plan import PHashAggregate, PScalarAggregate, PTableScan
+from repro.storage import Storage
+
+
+def build_storage(rows):
+    storage = Storage()
+    table = storage.create(TableDef(
+        "t", [ColumnDef("grp", DataType.INTEGER, False),
+              ColumnDef("val", DataType.INTEGER, True)]))
+    table.insert_many(rows)
+    return storage
+
+
+def agg_plan(funcs):
+    grp = Column("grp", DataType.INTEGER, False)
+    val = Column("val", DataType.INTEGER, True)
+    scan = PTableScan("t", [grp, val])
+    aggregates = []
+    for func in funcs:
+        out = Column(func.value, DataType.FLOAT)
+        argument = None if func is AggregateFunction.COUNT_STAR \
+            else ColumnRef(val)
+        aggregates.append((out, AggregateCall(func, argument)))
+    return PHashAggregate(scan, [grp], aggregates)
+
+
+ALL_FUNCS = [AggregateFunction.SUM, AggregateFunction.COUNT,
+             AggregateFunction.COUNT_STAR, AggregateFunction.MIN,
+             AggregateFunction.MAX, AggregateFunction.AVG]
+
+
+class TestSpilling:
+    def test_spilled_equals_in_memory(self):
+        rng = random.Random(7)
+        rows = [(rng.randint(0, 40), rng.choice([None] + list(range(10))))
+                for _ in range(500)]
+        storage = build_storage(rows)
+        plan = agg_plan(ALL_FUNCS)
+        unbounded = Counter(PhysicalExecutor(storage).run(plan))
+        for threshold in (1, 2, 7, 100):
+            spilled = Counter(PhysicalExecutor(
+                storage, aggregate_spill_threshold=threshold).run(plan))
+            assert spilled == unbounded, f"threshold {threshold}"
+
+    def test_distinct_disables_spilling_but_stays_correct(self):
+        rows = [(i % 5, i % 3) for i in range(60)]
+        storage = build_storage(rows)
+        grp = Column("grp", DataType.INTEGER, False)
+        val = Column("val", DataType.INTEGER, True)
+        scan = PTableScan("t", [grp, val])
+        out = Column("dc", DataType.INTEGER)
+        plan = PHashAggregate(scan, [grp], [
+            (out, AggregateCall(AggregateFunction.COUNT, ColumnRef(val),
+                                distinct=True))])
+        unbounded = Counter(PhysicalExecutor(storage).run(plan))
+        spilled = Counter(PhysicalExecutor(
+            storage, aggregate_spill_threshold=1).run(plan))
+        assert spilled == unbounded
+        assert all(count == 3 for _, count in unbounded)
+
+    def test_empty_input(self):
+        storage = build_storage([])
+        plan = agg_plan([AggregateFunction.SUM])
+        assert PhysicalExecutor(
+            storage, aggregate_spill_threshold=1).run(plan) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.lists(st.tuples(st.integers(0, 8),
+                                   st.one_of(st.none(),
+                                             st.integers(-5, 5))),
+                         max_size=60),
+           threshold=st.integers(1, 10))
+    def test_property_spill_equivalence(self, rows, threshold):
+        storage = build_storage(rows)
+        plan = agg_plan(ALL_FUNCS)
+        unbounded = Counter(PhysicalExecutor(storage).run(plan))
+        spilled = Counter(PhysicalExecutor(
+            storage, aggregate_spill_threshold=threshold).run(plan))
+        assert spilled == unbounded

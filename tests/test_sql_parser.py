@@ -1,0 +1,299 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse, tokenize
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("select a, b from t where a >= 1.5")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert tokens[-1].type is TokenType.EOF
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["select", "a", ",", "b", "from", "t",
+                          "where", "a", ">=", "1.5"]
+
+    def test_string_escaping(self):
+        tokens = tokenize("select 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_case_insensitive_keywords_and_idents(self):
+        tokens = tokenize("SELECT Foo FROM Bar")
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "foo"
+
+    def test_line_comments(self):
+        tokens = tokenize("select a -- comment\nfrom t")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["select", "a", "from", "t"]
+
+    def test_not_equal_variants(self):
+        assert tokenize("a <> b")[1].value == "<>"
+        assert tokenize("a != b")[1].value == "<>"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select 'oops")
+
+    def test_position_tracking(self):
+        tokens = tokenize("select\n  a")
+        a = tokens[1]
+        assert a.line == 2 and a.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @x")
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        q = parse("select a, b as bee from t")
+        assert isinstance(q, ast.SelectStatement)
+        assert q.select_items[0].expr == ast.Identifier(("a",))
+        assert q.select_items[1].alias == "bee"
+        assert q.from_items == (ast.TableRef("t"),)
+
+    def test_select_star_and_qualified_star(self):
+        q = parse("select *, t.* from t")
+        assert q.select_items[0].expr == ast.Star()
+        assert q.select_items[1].expr == ast.Star("t")
+
+    def test_aliases_with_and_without_as(self):
+        q = parse("select a from t as x, u y")
+        assert q.from_items[0].alias == "x"
+        assert q.from_items[1].alias == "y"
+
+    def test_where_group_having_order_limit(self):
+        q = parse("select a, count(*) from t where b = 1 group by a "
+                  "having count(*) > 2 order by a desc limit 7")
+        assert q.where is not None
+        assert q.group_by == (ast.Identifier(("a",)),)
+        assert q.having is not None
+        assert q.order_by[0].ascending is False
+        assert q.limit == 7
+
+    def test_distinct(self):
+        assert parse("select distinct a from t").distinct
+
+    def test_operator_precedence(self):
+        q = parse("select a + b * c from t")
+        expr = q.select_items[0].expr
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        q = parse("select 1 from t where a = 1 or b = 2 and c = 3")
+        expr = q.where
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not_precedence(self):
+        q = parse("select 1 from t where not a = 1 and b = 2")
+        assert q.where.op == "and"
+        assert isinstance(q.where.left, ast.UnaryOp)
+
+    def test_parenthesized_expression(self):
+        q = parse("select (a + b) * c from t")
+        expr = q.select_items[0].expr
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        q = parse("select -a from t")
+        assert isinstance(q.select_items[0].expr, ast.UnaryOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t where a = 1 2")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t limit 1.5")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        q = parse("select 1 from a join b on a.x = b.y")
+        join = q.from_items[0]
+        assert isinstance(join, ast.JoinExpr) and join.kind == "inner"
+
+    def test_left_outer_join(self):
+        q = parse("select 1 from a left outer join b on a.x = b.y")
+        assert q.from_items[0].kind == "left"
+        q2 = parse("select 1 from a left join b on a.x = b.y")
+        assert q2.from_items[0].kind == "left"
+
+    def test_cross_join(self):
+        q = parse("select 1 from a cross join b")
+        assert q.from_items[0].kind == "cross"
+        assert q.from_items[0].condition is None
+
+    def test_right_join_rejected_with_hint(self):
+        with pytest.raises(SqlSyntaxError, match="LEFT OUTER"):
+            parse("select 1 from a right join b on a.x = b.y")
+
+    def test_join_chains_left_associative(self):
+        q = parse("select 1 from a join b on a.x = b.x join c on b.y = c.y")
+        outer = q.from_items[0]
+        assert isinstance(outer.left, ast.JoinExpr)
+        assert isinstance(outer.right, ast.TableRef)
+
+    def test_comma_separated_tables(self):
+        q = parse("select 1 from a, b, c")
+        assert len(q.from_items) == 3
+
+    def test_derived_table(self):
+        q = parse("select x from (select a as x from t) as d")
+        derived = q.from_items[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "d"
+
+    def test_derived_table_with_column_aliases(self):
+        q = parse("select x from (select a from t) as d (x)")
+        assert q.from_items[0].column_aliases == ("x",)
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select 1 from (select a from t)")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self):
+        q = parse("select (select max(a) from t) from u")
+        assert isinstance(q.select_items[0].expr, ast.SubqueryExpr)
+
+    def test_exists(self):
+        q = parse("select 1 from t where exists (select 1 from u)")
+        assert isinstance(q.where, ast.ExistsExpr)
+
+    def test_not_exists(self):
+        q = parse("select 1 from t where not exists (select 1 from u)")
+        assert isinstance(q.where, ast.UnaryOp)
+        assert isinstance(q.where.operand, ast.ExistsExpr)
+
+    def test_in_subquery_and_list(self):
+        q = parse("select 1 from t where a in (select b from u)")
+        assert q.where.subquery is not None
+        q2 = parse("select 1 from t where a in (1, 2, 3)")
+        assert len(q2.where.values) == 3
+
+    def test_not_in(self):
+        q = parse("select 1 from t where a not in (select b from u)")
+        assert q.where.negated
+
+    def test_quantified(self):
+        q = parse("select 1 from t where a > all (select b from u)")
+        assert isinstance(q.where, ast.QuantifiedExpr)
+        assert q.where.quantifier == "ALL"
+        q2 = parse("select 1 from t where a = some (select b from u)")
+        assert q2.where.quantifier == "ANY"
+
+    def test_in_subquery_wrapped_in_parens(self):
+        q = parse("select 1 from t where a in ((select b from u))")
+        assert q.where.subquery is not None
+
+
+class TestLiteralsAndPredicates:
+    def test_date_literal(self):
+        q = parse("select 1 from t where d >= date '1994-01-01'")
+        assert isinstance(q.where.right, ast.DateLiteral)
+
+    def test_invalid_date_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select date '1994-13-40'")
+
+    def test_interval_literal(self):
+        q = parse("select date '1994-01-01' + interval '3' month")
+        expr = q.select_items[0].expr
+        assert expr.right == ast.IntervalLiteral(3, "month")
+
+    def test_between(self):
+        q = parse("select 1 from t where a between 1 and 10")
+        assert isinstance(q.where, ast.BetweenExpr)
+        q2 = parse("select 1 from t where a not between 1 and 10")
+        assert q2.where.negated
+
+    def test_like(self):
+        q = parse("select 1 from t where name like 'x%'")
+        assert isinstance(q.where, ast.LikeExpr)
+        q2 = parse("select 1 from t where name not like 'x%'")
+        assert q2.where.negated
+
+    def test_is_null(self):
+        q = parse("select 1 from t where a is null")
+        assert isinstance(q.where, ast.IsNullExpr) and not q.where.negated
+        q2 = parse("select 1 from t where a is not null")
+        assert q2.where.negated
+
+    def test_null_true_false(self):
+        q = parse("select null, true, false")
+        assert isinstance(q.select_items[0].expr, ast.NullLiteral)
+        assert q.select_items[1].expr == ast.BooleanLiteral(True)
+
+    def test_case_expression(self):
+        q = parse("select case when a = 1 then 'x' when a = 2 then 'y' "
+                  "else 'z' end from t")
+        case = q.select_items[0].expr
+        assert isinstance(case, ast.CaseExpr)
+        assert len(case.whens) == 2
+        assert case.otherwise == ast.StringLiteral("z")
+
+    def test_simple_case_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select case a when 1 then 'x' end from t")
+
+    def test_extract(self):
+        q = parse("select extract(year from d) from t")
+        expr = q.select_items[0].expr
+        assert isinstance(expr, ast.ExtractExpr)
+        assert expr.part == "year"
+        for part in ("month", "day"):
+            parse(f"select extract({part} from d) from t")
+
+    def test_extract_invalid_part(self):
+        with pytest.raises(SqlSyntaxError, match="YEAR"):
+            parse("select extract(hour from d) from t")
+
+    def test_extract_in_predicate_and_group(self):
+        q = parse("select extract(year from d), count(*) from t "
+                  "group by extract(year from d)")
+        assert isinstance(q.group_by[0], ast.ExtractExpr)
+
+
+class TestAggregates:
+    def test_count_star(self):
+        q = parse("select count(*) from t")
+        call = q.select_items[0].expr
+        assert call.name == "count"
+        assert call.args == (ast.Star(),)
+
+    def test_count_distinct(self):
+        q = parse("select count(distinct a) from t")
+        assert q.select_items[0].expr.distinct
+
+    def test_all_five(self):
+        q = parse("select count(a), sum(a), avg(a), min(a), max(a) from t")
+        names = [item.expr.name for item in q.select_items]
+        assert names == ["count", "sum", "avg", "min", "max"]
+
+
+class TestUnion:
+    def test_union_all(self):
+        q = parse("select a from t union all select b from u")
+        assert isinstance(q, ast.UnionStatement)
+
+    def test_union_all_chain(self):
+        q = parse("select 1 union all select 2 union all select 3")
+        assert isinstance(q.left, ast.UnionStatement)
+
+    def test_plain_union_rejected_with_hint(self):
+        with pytest.raises(SqlSyntaxError, match="UNION ALL"):
+            parse("select a from t union select b from u")
+
+    def test_union_in_derived_table(self):
+        q = parse("select x from (select a from t union all "
+                  "select b from u) as v (x)")
+        assert isinstance(q.from_items[0].subquery, ast.UnionStatement)

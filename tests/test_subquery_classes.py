@@ -1,0 +1,98 @@
+"""Paper Section 2.5 — the three subquery classes, via the classifier."""
+
+import pytest
+
+from repro import Database, DataType
+from repro.core.normalize import SubqueryClass, classify_query
+
+
+@pytest.fixture
+def db(mini_catalog):
+    database = Database()
+    database.catalog = mini_catalog
+    from repro.binder import Binder
+    database._binder = Binder(mini_catalog)
+    return database
+
+
+class TestClass1:
+    """Simple select/project/join/aggregate blocks flatten completely."""
+
+    CASES = [
+        """select c_custkey from customer
+           where 1000000 < (select sum(o_totalprice) from orders
+                            where o_custkey = c_custkey)""",
+        """select c_custkey from customer
+           where exists (select * from orders
+                         where o_custkey = c_custkey)""",
+        """select p_partkey from part
+           where p_partkey in (select l_partkey from lineitem)""",
+        """select o_orderkey, (select c_name from customer
+                               where c_custkey = o_custkey) from orders""",
+        """select s_suppkey from supplier
+           where s_acctbal > all (select c_acctbal from customer)""",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES, ids=range(len(CASES)))
+    def test_fully_flattened(self, db, sql):
+        assert classify_query(db, sql) == []
+
+
+class TestClass2:
+    def test_union_all_under_apply(self, db):
+        reports = classify_query(db, """
+            select ps_partkey from partsupp
+            where 100.0 > (select sum(s_acctbal) from
+                           (select s_acctbal from supplier
+                            where s_suppkey = ps_suppkey
+                            union all
+                            select p_retailprice from part
+                            where p_partkey = ps_partkey) as u)""")
+        assert len(reports) == 1
+        assert reports[0].subquery_class is SubqueryClass.CLASS2
+        assert "UNION ALL" in reports[0].reason
+
+    def test_except_all_under_apply(self, db):
+        reports = classify_query(db, """
+            select ps_partkey from partsupp
+            where 100.0 > (select sum(s_acctbal) from
+                           (select s_acctbal from supplier
+                            where s_suppkey = ps_suppkey
+                            except all
+                            select p_retailprice from part
+                            where p_partkey = ps_partkey) as u)""")
+        assert len(reports) == 1
+        assert reports[0].subquery_class is SubqueryClass.CLASS2
+        assert "EXCEPT" in reports[0].reason
+
+
+class TestClass3:
+    def test_max1row_subquery(self, db):
+        """The paper's Q2: a scalar subquery that may return several rows."""
+        reports = classify_query(db, """
+            select c_name, (select o_orderkey from orders
+                            where o_custkey = c_custkey)
+            from customer""")
+        assert len(reports) == 1
+        assert reports[0].subquery_class is SubqueryClass.CLASS3
+        assert "Max1row" in reports[0].reason
+
+    def test_case_branch_subquery(self, db):
+        reports = classify_query(db, """
+            select case when c_acctbal > 0.0
+                        then (select sum(o_totalprice) from orders
+                              where o_custkey = c_custkey)
+                        else 0.0 end
+            from customer""")
+        assert any(r.subquery_class is SubqueryClass.CLASS3
+                   and "conditional" in r.reason for r in reports)
+
+    def test_parameterized_limit(self, db):
+        reports = classify_query(db, """
+            select c_custkey,
+                   (select o_orderkey from orders
+                    where o_custkey = c_custkey
+                    order by o_totalprice desc limit 1)
+            from customer""")
+        assert len(reports) == 1
+        assert reports[0].subquery_class is SubqueryClass.CLASS3

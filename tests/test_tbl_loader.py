@@ -1,0 +1,75 @@
+"""Round-trip tests for the dbgen .tbl loader/dumper."""
+
+import pytest
+
+from repro import Database, FULL
+from repro.errors import ExecutionError
+from repro.tpch import (QUERIES, create_tpch_schema, dump_tbl,
+                        generate_tpch, load_tbl)
+
+
+@pytest.fixture(scope="module")
+def generated_db():
+    db = Database()
+    create_tpch_schema(db)
+    generate_tpch(db, scale_factor=0.0005, seed=99)
+    return db
+
+
+class TestRoundTrip:
+    def test_dump_then_load_identical(self, generated_db, tmp_path):
+        dumped = dump_tbl(generated_db, tmp_path)
+        assert dumped["lineitem"] > 0
+
+        fresh = Database()
+        create_tpch_schema(fresh)
+        loaded = load_tbl(fresh, tmp_path)
+        assert loaded == dumped
+        for name in dumped:
+            assert fresh.storage.get(name).rows == \
+                generated_db.storage.get(name).rows
+
+    def test_query_results_survive_round_trip(self, generated_db, tmp_path):
+        dump_tbl(generated_db, tmp_path)
+        fresh = Database()
+        create_tpch_schema(fresh)
+        load_tbl(fresh, tmp_path)
+        for name in ("Q1", "Q6", "Q17"):
+            assert fresh.execute(QUERIES[name], FULL).rows == \
+                generated_db.execute(QUERIES[name], FULL).rows
+
+    def test_subset_load(self, generated_db, tmp_path):
+        dump_tbl(generated_db, tmp_path, tables=["region", "nation"])
+        fresh = Database()
+        create_tpch_schema(fresh)
+        counts = load_tbl(fresh, tmp_path)
+        assert set(counts) == {"region", "nation"}
+
+    def test_missing_files_skipped(self, tmp_path):
+        fresh = Database()
+        create_tpch_schema(fresh)
+        assert load_tbl(fresh, tmp_path) == {}
+
+
+class TestMalformedInput:
+    def test_wrong_field_count(self, tmp_path):
+        (tmp_path / "region.tbl").write_text(
+            "0|AFRICA|x|\n1|too|many|extra|fields|\n")
+        fresh = Database()
+        create_tpch_schema(fresh)
+        with pytest.raises(ExecutionError, match="region.tbl:2"):
+            load_tbl(fresh, tmp_path)
+
+    def test_bad_integer(self, tmp_path):
+        (tmp_path / "region.tbl").write_text("zero|AFRICA|x|\n")
+        fresh = Database()
+        create_tpch_schema(fresh)
+        with pytest.raises(ExecutionError, match="region.tbl:1"):
+            load_tbl(fresh, tmp_path)
+
+    def test_empty_lines_ignored(self, tmp_path):
+        (tmp_path / "region.tbl").write_text("0|AFRICA|x|\n\n1|AMERICA|y|\n")
+        fresh = Database()
+        create_tpch_schema(fresh)
+        counts = load_tbl(fresh, tmp_path)
+        assert counts["region"] == 2

@@ -1,0 +1,79 @@
+"""Top-N (bounded heap) operator: plan selection and semantics."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FULL, NAIVE, Database, DataType
+from repro.physical import PTopN, explain_physical
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children:
+        yield from _walk(child)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("id", DataType.INTEGER, False),
+                                ("v", DataType.INTEGER, True)],
+                          primary_key=("id",))
+    rng = random.Random(3)
+    database.insert("t", [(i, rng.choice([None] + list(range(20))))
+                          for i in range(1, 301)])
+    return database
+
+
+class TestTopNPlan:
+    def test_chosen_for_order_by_limit(self, db):
+        plan = db.plan("select id from t order by v desc limit 5")
+        assert any(isinstance(n, PTopN) for n in _walk(plan))
+
+    def test_not_used_without_limit(self, db):
+        plan = db.plan("select id from t order by v desc")
+        assert not any(isinstance(n, PTopN) for n in _walk(plan))
+
+    def test_results_match_naive(self, db):
+        for sql in (
+            "select id, v from t order by v desc, id limit 7",
+            "select id, v from t order by v, id limit 4 offset 3",
+            "select id from t order by v limit 0",
+            "select id from t order by id desc limit 1000",  # > row count
+        ):
+            assert db.execute(sql, FULL).rows == \
+                db.execute(sql, NAIVE).rows, sql
+
+    def test_nulls_first_ascending(self, db):
+        rows = db.execute("select v from t order by v limit 3", FULL).rows
+        assert all(v is None for (v,) in rows)
+
+    def test_stable_on_ties(self, db):
+        """Rows with equal keys keep input order, matching the full sort."""
+        full = db.execute(
+            "select id, v from t order by v limit 50", FULL).rows
+        naive = db.execute(
+            "select id, v from t order by v limit 50", NAIVE).rows
+        assert full == naive
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.one_of(st.none(), st.integers(0, 5)),
+                           max_size=25),
+           limit=st.integers(0, 8), offset=st.integers(0, 4),
+           ascending=st.booleans())
+    def test_property_matches_full_sort(self, values, limit, offset,
+                                        ascending):
+        database = Database()
+        database.create_table("p", [("id", DataType.INTEGER, False),
+                                    ("v", DataType.INTEGER, True)],
+                              primary_key=("id",))
+        database.insert("p", [(i, v) for i, v in enumerate(values)])
+        direction = "asc" if ascending else "desc"
+        sql = (f"select id, v from p order by v {direction}, id "
+               f"limit {limit} offset {offset}")
+        assert database.execute(sql, FULL).rows == \
+            database.execute(sql, NAIVE).rows

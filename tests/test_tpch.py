@@ -1,0 +1,184 @@
+"""TPC-H substrate tests: generator invariants and query correctness.
+
+Query correctness is differential: every execution mode must agree with
+the naive interpreter on a small scale factor.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import CORRELATED, DECORRELATE_ONLY, FULL, NAIVE, Database
+from repro.tpch import (PAPER_HIGHLIGHT, QUERIES, TABLES, create_tpch_schema,
+                        generate_tpch, paper_example_formulations)
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    db = Database()
+    create_tpch_schema(db)
+    counts = generate_tpch(db, scale_factor=0.001, seed=7)
+    return db, counts
+
+
+@pytest.fixture(scope="module")
+def tiny_tpch_db():
+    """Minimum-size instance for naive-interpreter differential checks
+    (the naive oracle is quadratic on correlated queries)."""
+    db = Database()
+    create_tpch_schema(db)
+    counts = generate_tpch(db, scale_factor=0.0001, seed=11)
+    return db, counts
+
+
+class TestGenerator:
+    def test_cardinalities_scale(self, tpch_db):
+        db, counts = tpch_db
+        assert counts.region == 5
+        assert counts.nation == 25
+        assert counts.orders == counts.customer * 10
+        assert counts.partsupp == counts.part * 4
+        # ~4 lineitems per order (uniform 1..7)
+        assert 3.0 < counts.lineitem / counts.orders < 5.0
+
+    def test_deterministic(self):
+        def build(seed):
+            db = Database()
+            create_tpch_schema(db, with_indexes=False)
+            generate_tpch(db, scale_factor=0.0005, seed=seed)
+            return db.storage.get("lineitem").rows
+
+        assert build(3) == build(3)
+        assert build(3) != build(4)
+
+    def test_keys_enforced(self, tpch_db):
+        db, _ = tpch_db
+        # inserting a duplicate primary key must fail
+        from repro.errors import ExecutionError
+        row = list(db.storage.get("region").rows[0])
+        with pytest.raises(ExecutionError):
+            db.insert("region", [tuple(row)])
+
+    def test_value_domains(self, tpch_db):
+        db, _ = tpch_db
+        parts = db.storage.get("part").rows
+        table = db.catalog.get_table("part")
+        brand_at = table.column_index("p_brand")
+        container_at = table.column_index("p_container")
+        brands = {row[brand_at] for row in parts}
+        assert all(b.startswith("Brand#") and len(b) == 8 for b in brands)
+        containers = {row[container_at] for row in parts}
+        sizes = {c.split()[0] for c in containers}
+        assert sizes <= {"SM", "MED", "LG", "JUMBO", "WRAP"}
+
+    def test_lineitem_references_partsupp_pairs(self, tpch_db):
+        db, _ = tpch_db
+        ps = {(r[0], r[1]) for r in db.storage.get("partsupp").rows}
+        li_table = db.catalog.get_table("lineitem")
+        pk_at = li_table.column_index("l_partkey")
+        sk_at = li_table.column_index("l_suppkey")
+        for row in db.storage.get("lineitem").rows[:200]:
+            assert (row[pk_at], row[sk_at]) in ps
+
+    def test_one_third_of_customers_orderless(self, tpch_db):
+        db, counts = tpch_db
+        custkeys = {r[1] for r in db.storage.get("orders").rows}
+        orderless = counts.customer - len(custkeys)
+        assert orderless >= counts.customer // 4  # ≈ one third
+
+    def test_dates_in_range(self, tpch_db):
+        import datetime
+        db, _ = tpch_db
+        table = db.catalog.get_table("orders")
+        date_at = table.column_index("o_orderdate")
+        for row in db.storage.get("orders").rows[:200]:
+            assert datetime.date(1992, 1, 1) <= row[date_at] \
+                <= datetime.date(1998, 8, 2)
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_physical_modes_agree(self, tpch_db, name):
+        db, _ = tpch_db
+        sql = QUERIES[name]
+        reference = db.execute(sql, FULL)
+        for mode in (DECORRELATE_ONLY, CORRELATED):
+            result = db.execute(sql, mode)
+            assert _rounded(result.rows) == _rounded(reference.rows), \
+                f"{name} under {mode.name}"
+
+    # Queries whose naive (cross-product + per-row subquery) evaluation is
+    # tractable at the tiny scale.  The remaining queries (Q2, Q3, Q5,
+    # Q10, Q18, Q20, Q21) have 3+-way cross products under naive
+    # evaluation; their query *shapes* are differentially validated
+    # against the naive oracle on small synthetic tables in
+    # test_normalize_semantics/test_end_to_end.
+    NAIVE_FEASIBLE = ("Q1", "Q4", "Q6", "Q11", "Q12", "Q13", "Q14", "Q15",
+                      "Q16", "Q17", "Q19", "Q22")
+
+    @pytest.mark.parametrize("name", NAIVE_FEASIBLE)
+    def test_naive_oracle_agrees(self, tiny_tpch_db, name):
+        """Differential against the naive interpreter (tiny instance: the
+        oracle evaluates correlated subqueries quadratically)."""
+        db, _ = tiny_tpch_db
+        sql = QUERIES[name]
+        reference = db.execute(sql, NAIVE)
+        result = db.execute(sql, FULL)
+        assert _rounded(result.rows) == _rounded(reference.rows)
+
+    def test_q15_view_variant_matches_derived_table(self, tiny_tpch_db):
+        """TPC-H defines Q15 with a view; the bundled text uses the
+        sanctioned derived-table variant — both must agree."""
+        db, _ = tiny_tpch_db
+        try:
+            db.create_view("revenue0", """
+                select l_suppkey as supplier_no,
+                       sum(l_extendedprice * (1 - l_discount))
+                         as total_revenue
+                from lineitem
+                where l_shipdate >= date '1996-01-01'
+                  and l_shipdate < date '1996-01-01' + interval '3' month
+                group by l_suppkey""")
+        except Exception:
+            pass  # already created by a previous parametrization
+        view_sql = """
+            select s_suppkey, s_name, s_address, s_phone, total_revenue
+            from supplier, revenue0
+            where s_suppkey = supplier_no
+              and total_revenue = (select max(total_revenue) from revenue0)
+            order by s_suppkey"""
+        assert db.execute(view_sql, FULL).rows == \
+            db.execute(QUERIES["Q15"], FULL).rows
+
+    def test_extract_year_semantics(self, tiny_tpch_db):
+        db, _ = tiny_tpch_db
+        sql = """select extract(year from o_orderdate) as y, count(*)
+                 from orders group by extract(year from o_orderdate)
+                 order by y"""
+        reference = db.execute(sql, NAIVE)
+        assert db.execute(sql, FULL).rows == reference.rows
+        assert all(1992 <= y <= 1998 for y, _ in reference.rows)
+
+    def test_paper_formulations_same_result(self, tpch_db):
+        db, _ = tpch_db
+        results = []
+        for label, sql in paper_example_formulations(100000.0).items():
+            results.append(Counter(db.execute(sql, FULL).rows))
+        assert results[0] == results[1] == results[2]
+
+    def test_highlighted_queries_listed(self):
+        assert set(PAPER_HIGHLIGHT) <= set(QUERIES)
+
+    def test_schema_covers_all_tables(self):
+        assert set(TABLES) == {"region", "nation", "supplier", "customer",
+                               "part", "partsupp", "orders", "lineitem"}
+
+
+def _rounded(rows):
+    """Compare rows with float tolerance (aggregation order differs across
+    plans, and float addition is not associative)."""
+    out = []
+    for row in rows:
+        out.append(tuple(round(v, 4) if isinstance(v, float) else v
+                         for v in row))
+    return Counter(out)

@@ -1,0 +1,61 @@
+"""Explicit errors for the constructs the engine deliberately rejects."""
+
+import pytest
+
+from repro import Database, DataType, FULL
+from repro.errors import PlanError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", DataType.INTEGER, False),
+                                ("b", DataType.INTEGER, False)],
+                          primary_key=("a",))
+    database.create_table("u", [("c", DataType.INTEGER, False)],
+                          primary_key=("c",))
+    database.insert("t", [(1, 10)])
+    database.insert("u", [(1,)])
+    return database
+
+
+class TestRejectedConstructs:
+    def test_subquery_in_outer_join_on_clause(self, db):
+        with pytest.raises(PlanError, match="join predicate"):
+            db.execute("""
+                select a from t left outer join u
+                on c = (select max(a) from t)""", FULL)
+
+    def test_subquery_in_sort_key(self, db):
+        with pytest.raises(PlanError, match="sort key"):
+            db.execute("""
+                select a from t
+                order by (select max(c) from u)""", FULL)
+
+    def test_right_join_hint(self):
+        from repro.sql import parse
+        with pytest.raises(SqlSyntaxError, match="LEFT OUTER"):
+            parse("select 1 from t right join u on a = c")
+
+    def test_window_style_syntax_rejected(self):
+        from repro.sql import parse
+        with pytest.raises(SqlSyntaxError):
+            parse("select rank() over (order by a) from t")
+
+
+class TestSupportedCornerCases:
+    def test_aggregate_in_order_by_scalar_query(self, db):
+        result = db.execute(
+            "select sum(b) from t order by sum(b)", FULL)
+        assert result.rows == [(10,)]
+
+    def test_subquery_in_inner_join_on_clause(self, db):
+        """INNER-join ON subqueries are supported via select-over-cross."""
+        result = db.execute("""
+            select a from t join u on c = (select min(a) from t)""", FULL)
+        assert result.rows == [(1,)]
+
+    def test_having_with_only_aggregate_reference(self, db):
+        result = db.execute("""
+            select count(*) from t having count(*) > 0""", FULL)
+        assert result.rows == [(1,)]

@@ -1,0 +1,121 @@
+"""Views: named queries expanded at bind time.
+
+A view containing a correlated subquery must flatten exactly like the
+inlined query — views ride the whole normalization pipeline.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import CORRELATED, FULL, NAIVE, Database, DataType
+from repro.errors import BindError, CatalogError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("customer",
+                          [("c_custkey", DataType.INTEGER, False),
+                           ("c_name", DataType.VARCHAR, False),
+                           ("c_acctbal", DataType.FLOAT, False)],
+                          primary_key=("c_custkey",))
+    database.create_table("orders",
+                          [("o_orderkey", DataType.INTEGER, False),
+                           ("o_custkey", DataType.INTEGER, False),
+                           ("o_totalprice", DataType.FLOAT, False)],
+                          primary_key=("o_orderkey",))
+    database.insert("customer", [(1, "alice", 10.0), (2, "bob", 20.0),
+                                 (3, "carol", 30.0)])
+    database.insert("orders", [(10, 1, 700000.0), (11, 1, 450000.0),
+                               (12, 2, 5.0)])
+    return database
+
+
+class TestViews:
+    def test_simple_view(self, db):
+        db.create_view("rich", "select c_custkey, c_name from customer "
+                               "where c_acctbal > 15.0")
+        result = db.execute("select c_name from rich order by c_name")
+        assert result.rows == [("bob",), ("carol",)]
+
+    def test_view_with_aggregate(self, db):
+        db.create_view("totals", """
+            select o_custkey as custkey, sum(o_totalprice) as total
+            from orders group by o_custkey""")
+        result = db.execute("""
+            select c_name from customer, totals
+            where custkey = c_custkey and total > 1000000.0""")
+        assert result.rows == [("alice",)]
+
+    def test_view_with_correlated_subquery_flattens(self, db):
+        db.create_view("big_spenders", """
+            select c_custkey from customer
+            where 1000000 < (select sum(o_totalprice) from orders
+                             where o_custkey = c_custkey)""")
+        for mode in (NAIVE, FULL, CORRELATED):
+            assert db.execute("select * from big_spenders", mode).rows == \
+                [(1,)]
+        # fully decorrelated: no Apply in the optimized plan
+        from repro.core.normalize import classify_query
+        assert classify_query(db, "select * from big_spenders") == []
+
+    def test_view_over_view(self, db):
+        db.create_view("v1", "select c_custkey as k, c_acctbal as bal "
+                             "from customer")
+        db.create_view("v2", "select k from v1 where bal > 15.0")
+        assert sorted(db.execute("select * from v2").rows) == [(2,), (3,)]
+
+    def test_view_alias_and_self_join(self, db):
+        db.create_view("v", "select c_custkey as k from customer")
+        result = db.execute("""
+            select a.k, b.k from v a, v b where a.k < b.k""")
+        assert len(result.rows) == 3
+
+    def test_recursive_view_rejected(self, db):
+        db.catalog.create_view("loop_v", "select * from loop_v")
+        with pytest.raises(BindError, match="recursive"):
+            db.execute("select * from loop_v")
+
+    def test_mutually_recursive_views_rejected(self, db):
+        db.catalog.create_view("va", "select * from vb")
+        db.catalog.create_view("vb", "select * from va")
+        with pytest.raises(BindError, match="recursive"):
+            db.execute("select * from va")
+
+    def test_invalid_definition_rejected_eagerly(self, db):
+        with pytest.raises(BindError):
+            db.create_view("bad", "select nonexistent from customer")
+
+    def test_name_collision_with_table(self, db):
+        with pytest.raises(CatalogError, match="table"):
+            db.create_view("customer", "select 1 as one")
+
+    def test_table_collision_with_view(self, db):
+        db.create_view("v", "select 1 as one")
+        with pytest.raises(CatalogError, match="view"):
+            db.create_table("v", [("x", DataType.INTEGER)])
+
+    def test_duplicate_output_names_need_aliases(self, db):
+        db.catalog.create_view(
+            "dup", "select c_custkey, c_custkey from customer")
+        with pytest.raises(BindError, match="duplicate"):
+            db.execute("select * from dup")
+
+    def test_drop_view(self, db):
+        db.create_view("v", "select 1 as one")
+        db.drop_view("v")
+        from repro.errors import CatalogError as CE
+        with pytest.raises(CE):
+            db.execute("select * from v")
+
+    def test_subquery_against_view(self, db):
+        db.create_view("totals", """
+            select o_custkey as custkey, sum(o_totalprice) as total
+            from orders group by o_custkey""")
+        sql = """select c_name from customer
+                 where exists (select * from totals
+                               where custkey = c_custkey)"""
+        reference = db.execute(sql, NAIVE)
+        assert Counter(db.execute(sql, FULL).rows) == \
+            Counter(reference.rows)
