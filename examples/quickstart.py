@@ -69,6 +69,36 @@ def main() -> None:
     for name, count, total in totals:
         print(f"{name:<8}{count:>8}{total if total else 0.0:>14.2f}")
 
+    # -- prepared statements: compile once, execute with fresh bindings -----------
+    print()
+    stmt = db.prepare("""
+        select c_name from customer
+        where c_acctbal >= :lo and c_acctbal < :hi
+        order by c_name
+    """)
+    for lo, hi in [(0.0, 100.0), (100.0, 1000.0)]:
+        names = [name for (name,) in stmt.execute({"lo": lo, "hi": hi})]
+        print(f"balance in [{lo:.0f}, {hi:.0f}):", names)
+    stats = db.plan_cache.stats
+    print(f"plan cache: {stats.hits} hits, {stats.misses} misses")
+
+    # Results carry their schema and convert to dicts:
+    richest = db.execute(
+        "select c_name, c_acctbal from customer order by c_acctbal desc")
+    print("columns:", [name for name, _ in richest.columns])
+    print("richest:", richest.to_dicts()[0])
+
+    # -- the same engine through the DB-API 2.0 adapter ---------------------------
+    print()
+    from repro import dbapi
+
+    conn = dbapi.connect(db)
+    cur = conn.cursor()
+    cur.execute("select c_name from customer where c_acctbal > ?", (200.0,))
+    print("dbapi columns:", [d[0] for d in cur.description])
+    print("dbapi rows:", cur.fetchall())
+    conn.close()
+
 
 if __name__ == "__main__":
     main()

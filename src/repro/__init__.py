@@ -21,15 +21,18 @@ Quickstart::
 
 from .algebra import DataType, Interval
 from .database import (CORRELATED, DECORRELATE_ONLY, FULL, MODES, NAIVE,
-                       Database, ExecutionMode, QueryResult)
-from .errors import (BindError, CatalogError, ExecutionError, PlanError,
-                     ReproError, SqlSyntaxError,
+                       Database, ExecutionMode, PreparedStatement,
+                       QueryResult)
+from .errors import (BindError, CatalogError, ExecutionError,
+                     ParameterError, PlanError, ReproError, SqlSyntaxError,
                      SubqueryReturnedMultipleRows)
+from .plancache import PlanCache
 
 __version__ = "1.0.0"
 
 __all__ = ["BindError", "CORRELATED", "CatalogError", "DECORRELATE_ONLY",
            "DataType", "Database", "ExecutionError", "ExecutionMode",
-           "FULL", "Interval", "MODES", "NAIVE", "PlanError", "QueryResult",
+           "FULL", "Interval", "MODES", "NAIVE", "ParameterError",
+           "PlanCache", "PlanError", "PreparedStatement", "QueryResult",
            "ReproError", "SqlSyntaxError", "SubqueryReturnedMultipleRows",
            "__version__"]

@@ -26,9 +26,9 @@ from .relational import (Apply, ConstantScan, Difference, Get, GroupBy, Join,
 from .scalar import (AggregateCall, And, Arithmetic, Case, ColumnRef,
                      Comparison, ExistsSubquery, Extract, InList,
                      InSubquery, IsNull, Like, Literal, Negate, Not, Or,
-                     QuantifiedComparison, ScalarExpr, ScalarSubquery,
-                     column_equalities, conjunction, conjuncts, disjuncts,
-                     equals)
+                     Parameter, QuantifiedComparison, ScalarExpr,
+                     ScalarSubquery, column_equalities, conjunction,
+                     conjuncts, disjuncts, equals, parameter_slot)
 
 __all__ = [
     "AggregateCall", "AggregateDescriptor", "AggregateFunction",
@@ -38,6 +38,7 @@ __all__ = [
     "InList", "disjuncts",
     "InSubquery", "Interval", "IsNull", "Join", "JoinKind", "Like",
     "Literal", "LocalGroupBy", "Max1row", "Negate", "Not", "Or", "Project",
+    "Parameter", "parameter_slot",
     "QuantifiedComparison", "RelationalOp", "ScalarExpr", "ScalarGroupBy",
     "ScalarSubquery", "SegmentApply", "SegmentRef", "Select", "Sort", "Top",
     "UnionAll", "clone_with_fresh_columns", "collect_nodes",

@@ -74,6 +74,10 @@ class DataType(enum.Enum):
     DATE = "date"
     BOOLEAN = "boolean"
     INTERVAL = "interval"
+    #: Deferred typing: query parameters (``?`` / ``:name``) carry UNKNOWN
+    #: until a concrete value is bound at execution time; type checks treat
+    #: UNKNOWN as compatible with anything.
+    UNKNOWN = "unknown"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -102,6 +106,8 @@ _PYTHON_CLASSES = {
 def value_matches_type(value: Any, dtype: DataType) -> bool:
     """Return True when ``value`` is NULL or an instance of ``dtype``."""
     if value is None:
+        return True
+    if dtype is DataType.UNKNOWN:
         return True
     if dtype is DataType.BOOLEAN:
         # bool is a subclass of int; check it first and exclusively.
@@ -136,6 +142,10 @@ def infer_literal_type(value: Any) -> DataType:
 
 def common_supertype(a: DataType, b: DataType) -> DataType:
     """Result type of combining operands of types ``a`` and ``b``."""
+    if a is DataType.UNKNOWN:
+        return b
+    if b is DataType.UNKNOWN:
+        return a
     if a == b:
         return a
     numeric_order = [DataType.INTEGER, DataType.DECIMAL, DataType.FLOAT]

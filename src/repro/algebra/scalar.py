@@ -172,6 +172,49 @@ FALSE = Literal(False)
 NULL_BOOLEAN = Literal(None, DataType.BOOLEAN)
 
 
+class Parameter(ScalarExpr):
+    """A query parameter placeholder (``?`` or ``:name``).
+
+    The value is supplied at execution time; within one execution the slot
+    is a constant, so rewrites may treat it like a literal of unknown value
+    (it reads no columns and has no side effects) — but constant folding
+    must never evaluate it at plan time, which falls out of it not being a
+    :class:`Literal`.  The type is deferred (:attr:`DataType.UNKNOWN`).
+    """
+
+    __slots__ = ("index", "name")
+
+    def __init__(self, index: int, name: str | None = None) -> None:
+        if index < 0:
+            raise ValueError("parameter index must be non-negative")
+        self.index = index
+        self.name = name
+
+    @property
+    def dtype(self) -> DataType:
+        return DataType.UNKNOWN
+
+    @property
+    def nullable(self) -> bool:
+        return True  # NULL may be bound
+
+    def _key(self) -> tuple:
+        return ("param", self.index)
+
+    def sql(self) -> str:
+        return f":{self.name}" if self.name is not None else f"?{self.index}"
+
+
+def parameter_slot(index: int) -> int:
+    """Key of parameter ``index`` in an execution environment.
+
+    Execution environments map column ids (positive integers) to values;
+    parameter slots share the mapping under negative keys so the executors
+    need no second lookup structure.
+    """
+    return -1 - index
+
+
 class Comparison(ScalarExpr):
     """Binary comparison with SQL NULL propagation."""
 
@@ -362,6 +405,8 @@ class Arithmetic(ScalarExpr):
     @property
     def dtype(self) -> DataType:
         left, right = self.left.dtype, self.right.dtype
+        if DataType.UNKNOWN in (left, right):
+            return DataType.UNKNOWN
         if DataType.INTERVAL in (left, right):
             return left if right is DataType.INTERVAL else right
         if left is DataType.DATE and right is DataType.DATE:

@@ -25,10 +25,10 @@ from ..algebra import (AggregateCall, AggregateFunction, And, Arithmetic,
                        Case, Column, ColumnRef, Comparison, ConstantScan,
                        DataType, ExistsSubquery, Get, GroupBy, InList,
                        InSubquery, Interval, IsNull, Join, JoinKind, Like,
-                       Literal, Max1row, Negate, Not, Or, Project,
-                       QuantifiedComparison, RelationalOp, ScalarExpr,
-                       ScalarGroupBy, ScalarSubquery, Select, Sort, Top,
-                       UnionAll, conjunction, max_one_row)
+                       Literal, Max1row, Negate, Not, Or, Parameter,
+                       Project, QuantifiedComparison, RelationalOp,
+                       ScalarExpr, ScalarGroupBy, ScalarSubquery, Select,
+                       Sort, Top, UnionAll, conjunction, max_one_row)
 from ..catalog import Catalog, TableDef
 from ..errors import BindError
 from ..sql import ast
@@ -45,14 +45,24 @@ _AGGREGATE_FUNCS = {
 
 @dataclass
 class BoundQuery:
-    """A bound query: operator tree plus output column names."""
+    """A bound query: operator tree plus output column names.
+
+    ``parameters`` lists the query's parameter markers in slot order
+    (empty for non-parameterized queries); it is filled in by
+    :meth:`Binder.bind` on the top-level result only.
+    """
 
     rel: RelationalOp
     names: list[str]
+    parameters: tuple[Parameter, ...] = ()
 
     @property
     def columns(self) -> list[Column]:
         return self.rel.output_columns()
+
+    @property
+    def column_types(self) -> list[DataType]:
+        return [c.dtype for c in self.columns]
 
 
 class Binder:
@@ -61,9 +71,14 @@ class Binder:
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self._view_stack: list[str] = []
+        self._parameters: dict[int, Parameter] = {}
 
     def bind(self, query: ast.Query) -> BoundQuery:
-        return self._bind_query(query, parent_scope=None)
+        self._parameters = {}
+        bound = self._bind_query(query, parent_scope=None)
+        bound.parameters = tuple(self._parameters[i]
+                                 for i in sorted(self._parameters))
+        return bound
 
     # -- queries ------------------------------------------------------------------
 
@@ -379,7 +394,8 @@ class Binder:
             raise BindError("aggregates cannot be nested")
         argument = self._bind_expr(arg_ast, scope)
         if func in (AggregateFunction.SUM, AggregateFunction.AVG) \
-                and not argument.dtype.is_numeric:
+                and not argument.dtype.is_numeric \
+                and argument.dtype is not DataType.UNKNOWN:
             raise BindError(f"{call.name} requires a numeric argument")
         return AggregateCall(func, argument, call.distinct)
 
@@ -445,6 +461,8 @@ class Binder:
                              ast.BooleanLiteral, ast.NullLiteral,
                              ast.DateLiteral, ast.IntervalLiteral)):
             return self._bind_literal(expr)
+        if isinstance(expr, ast.Parameter):
+            return self._bind_parameter(expr)
         raise BindError(
             f"unsupported expression in grouped context: {type(expr).__name__}")
 
@@ -470,6 +488,8 @@ class Binder:
                              ast.BooleanLiteral, ast.NullLiteral,
                              ast.DateLiteral, ast.IntervalLiteral)):
             return self._bind_literal(expr)
+        if isinstance(expr, ast.Parameter):
+            return self._bind_parameter(expr)
         if isinstance(expr, ast.BinaryOp):
             return self._combine_binary(expr.op, bind(expr.left),
                                         bind(expr.right))
@@ -478,7 +498,8 @@ class Binder:
             if expr.op == "not":
                 self._require_boolean(operand, "NOT")
                 return Not(operand)
-            if not operand.dtype.is_numeric:
+            if not operand.dtype.is_numeric \
+                    and operand.dtype is not DataType.UNKNOWN:
                 raise BindError("unary minus requires a numeric operand")
             return Negate(operand)
         if isinstance(expr, ast.CaseExpr):
@@ -497,7 +518,7 @@ class Binder:
             return IsNull(bind(expr.operand), expr.negated)
         if isinstance(expr, ast.ExtractExpr):
             operand = bind(expr.operand)
-            if operand.dtype is not DataType.DATE:
+            if operand.dtype not in (DataType.DATE, DataType.UNKNOWN):
                 raise BindError("EXTRACT requires a date operand")
             from ..algebra import Extract
             return Extract(expr.part, operand)
@@ -555,7 +576,7 @@ class Binder:
         operand = bind(expr.operand)
         if not isinstance(expr.pattern, ast.StringLiteral):
             raise BindError("LIKE requires a string-literal pattern")
-        if operand.dtype is not DataType.VARCHAR:
+        if operand.dtype not in (DataType.VARCHAR, DataType.UNKNOWN):
             raise BindError("LIKE requires a string operand")
         return Like(operand, expr.pattern.value, expr.negated)
 
@@ -568,6 +589,17 @@ class Binder:
         comparisons = [Comparison("=", operand, v) for v in bound_values]
         membership = Or(comparisons)
         return Not(membership) if expr.negated else membership
+
+    def _bind_parameter(self, expr: ast.Parameter) -> Parameter:
+        if self._view_stack:
+            raise BindError(
+                "parameters are not allowed in view definitions "
+                f"(view {self._view_stack[-1]!r})")
+        param = self._parameters.get(expr.index)
+        if param is None:
+            param = Parameter(expr.index, expr.name)
+            self._parameters[expr.index] = param
+        return param
 
     def _bind_literal(self, expr: ast.Expr) -> Literal:
         if isinstance(expr, ast.NumberLiteral):
@@ -609,12 +641,16 @@ class Binder:
     # -- type checks -----------------------------------------------------------
 
     def _require_boolean(self, expr: ScalarExpr, context: str) -> None:
-        if expr.dtype is not DataType.BOOLEAN:
+        # UNKNOWN (an untyped parameter) is accepted anywhere; its value is
+        # type-checked when bound at execution time.
+        if expr.dtype not in (DataType.BOOLEAN, DataType.UNKNOWN):
             raise BindError(f"{context} requires a boolean, got {expr.dtype}")
 
     def _check_comparable(self, left: ScalarExpr, right: ScalarExpr,
                           op: str) -> None:
         lt, rt = left.dtype, right.dtype
+        if DataType.UNKNOWN in (lt, rt):
+            return
         if lt.is_numeric and rt.is_numeric:
             return
         if lt == rt:
@@ -624,6 +660,8 @@ class Binder:
     def _check_arithmetic(self, left: ScalarExpr, right: ScalarExpr,
                           op: str) -> None:
         lt, rt = left.dtype, right.dtype
+        if DataType.UNKNOWN in (lt, rt):
+            return
         if lt.is_numeric and rt.is_numeric:
             return
         if lt is DataType.DATE and rt is DataType.INTERVAL and op in "+-":

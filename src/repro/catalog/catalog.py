@@ -101,6 +101,10 @@ class Catalog:
         self._tables: dict[str, TableDef] = {}
         self._indexes: dict[str, IndexDef] = {}
         self._views: dict[str, str] = {}  # name -> defining SQL text
+        #: Monotonic schema version, bumped by every DDL change.  Cached
+        #: plans embed the version they were built against; a mismatch
+        #: means the plan may reference stale schema and must be rebuilt.
+        self.version = 0
 
     # -- tables ---------------------------------------------------------------
 
@@ -111,6 +115,7 @@ class Catalog:
         if key in self._views:
             raise CatalogError(f"{table.name!r} already names a view")
         self._tables[key] = table
+        self.version += 1
         return table
 
     def get_table(self, name: str) -> TableDef:
@@ -130,6 +135,7 @@ class Catalog:
         for index_name in [n for n, ix in self._indexes.items()
                            if ix.table_name.lower() == key]:
             del self._indexes[index_name]
+        self.version += 1
 
     def tables(self) -> Iterator[TableDef]:
         return iter(self._tables.values())
@@ -144,6 +150,7 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"{name!r} already names a table")
         self._views[key] = sql
+        self.version += 1
 
     def has_view(self, name: str) -> bool:
         return name.lower() in self._views
@@ -158,6 +165,7 @@ class Catalog:
         if name.lower() not in self._views:
             raise CatalogError(f"unknown view {name!r}")
         del self._views[name.lower()]
+        self.version += 1
 
     # -- indexes ---------------------------------------------------------------
 
@@ -171,6 +179,7 @@ class Catalog:
                 raise CatalogError(
                     f"index column {col!r} not in table {table.name!r}")
         self._indexes[key] = index
+        self.version += 1
         return index
 
     def indexes_on(self, table_name: str) -> list[IndexDef]:

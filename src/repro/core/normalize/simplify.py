@@ -13,10 +13,10 @@ from __future__ import annotations
 from typing import Any
 
 from ...algebra import (And, Apply, Case, ColumnRef, GroupBy, Join,
-                        JoinKind, Literal, Max1row, Not, Or, Project,
-                        RelationalOp, ScalarExpr, Select, Sort, Top,
-                        conjunction, conjuncts, derive_keys, max_one_row,
-                        transform_bottom_up)
+                        JoinKind, Literal, Max1row, Not, Or, Parameter,
+                        Project, RelationalOp, ScalarExpr, Select, Sort,
+                        Top, conjunction, conjuncts, derive_keys,
+                        max_one_row, transform_bottom_up)
 from ...algebra.scalar import AggregateCall
 
 
@@ -62,7 +62,9 @@ def fold_constants(expr: ScalarExpr) -> ScalarExpr:
     if any(n is not o for n, o in zip(children, expr.children)):
         expr = expr.with_children(children)
 
-    if isinstance(expr, Literal) or isinstance(expr, ColumnRef):
+    if isinstance(expr, (Literal, ColumnRef, Parameter)):
+        # A Parameter is constant per execution but not per plan — folding
+        # it would freeze one binding into a cached plan.
         return expr
 
     if isinstance(expr, And):

@@ -441,13 +441,16 @@ def _constant_equality(part: ScalarExpr, get_ids: dict):
     """Match ``col = probe`` where col belongs to the Get and the probe is
     a constant or an outer parameter (correlated index lookup — the
     paper's per-row "appropriate indices" execution)."""
-    from ...algebra import Literal
+    from ...algebra import Literal, Parameter
 
     if not (isinstance(part, Comparison) and part.op == "="):
         return None
 
     def probe(expr: ScalarExpr) -> bool:
-        if isinstance(expr, Literal):
+        if isinstance(expr, (Literal, Parameter)):
+            # Literals are constants; query parameters are constant per
+            # execution (bound before the plan runs), so both can drive
+            # an index seek.
             return True
         # A column not produced by the scanned table is a correlation
         # parameter bound by an enclosing NLApply.

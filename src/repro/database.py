@@ -17,19 +17,26 @@ configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import (Any, Iterable, Iterator, Mapping, Optional, Sequence,
+                    Union)
 
-from .algebra import DataType, RelationalOp, explain
+from .algebra import DataType, Get, RelationalOp, collect_nodes, explain
 from .binder import Binder, BoundQuery
 from .catalog import Catalog, ColumnDef, IndexDef, TableDef
 from .core.normalize import NormalizeConfig, normalize
 from .core.optimizer import Optimizer, OptimizerConfig
-from .errors import ReproError
+from .errors import BindError, ParameterError, ReproError
 from .executor import NaiveInterpreter
 from .executor.physical import PhysicalExecutor
 from .physical import PhysicalOp, explain_physical
+from .plancache import CachedPlan, PlanCache, normalize_sql_key
 from .sql import parse
 from .storage import Storage
+
+#: Parameter bindings accepted by ``execute``: a sequence for positional
+#: ``?`` markers (also accepted, in slot order, for named ones) or a
+#: mapping for ``:name`` markers.
+Params = Union[Sequence[Any], Mapping[str, Any], None]
 
 
 @dataclass(frozen=True)
@@ -64,11 +71,40 @@ MODES = {mode.name: mode for mode in (FULL, DECORRELATE_ONLY, CORRELATED,
 
 
 class QueryResult:
-    """Rows plus output column names."""
+    """Rows plus the output schema (column names and types)."""
 
-    def __init__(self, names: list[str], rows: list[tuple]) -> None:
+    def __init__(self, names: list[str], rows: list[tuple],
+                 types: Sequence[DataType] | None = None) -> None:
         self.names = names
         self.rows = rows
+        self.types = (list(types) if types is not None
+                      else [DataType.UNKNOWN] * len(names))
+
+    @property
+    def columns(self) -> list[tuple[str, DataType]]:
+        """Output schema as ``(name, DataType)`` pairs."""
+        return list(zip(self.names, self.types))
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dicts keyed by output column name."""
+        return [dict(zip(self.names, row)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result.
+
+        Raises ``ValueError`` when the result is any other shape, so a
+        miswritten aggregate query fails loudly instead of silently
+        returning the first of many values.
+        """
+        if len(self.rows) != 1 or len(self.names) != 1:
+            raise ValueError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)} "
+                f"row(s) x {len(self.names)} column(s)")
+        return self.rows[0][0]
+
+    def first(self) -> tuple | None:
+        """The first row, or ``None`` for an empty result."""
+        return self.rows[0] if self.rows else None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -85,13 +121,99 @@ class QueryResult:
         return f"QueryResult({self.names}, {len(self.rows)} rows)"
 
 
+def bind_parameters(parameters: Sequence, params: Params) -> tuple:
+    """Match user-supplied bindings against a statement's parameter list.
+
+    Returns the values in slot order.  Positional statements take a
+    sequence; named statements take a mapping (or a sequence in slot
+    order).  ``None`` is a legal value for any parameter (SQL NULL);
+    missing, extra or mis-shaped bindings raise :class:`ParameterError`.
+    """
+    if isinstance(params, str):
+        raise ParameterError(
+            "parameters must be a sequence or mapping, not a bare string")
+    if not parameters:
+        if params:
+            raise ParameterError("statement takes no parameters")
+        return ()
+    named = parameters[0].name is not None
+    if isinstance(params, Mapping):
+        if not named:
+            raise ParameterError(
+                "statement uses positional (?) parameters; "
+                "pass a sequence, not a mapping")
+        names = [p.name for p in parameters]
+        missing = [n for n in names if n not in params]
+        if missing:
+            raise ParameterError(
+                f"missing parameter(s): {', '.join(missing)}")
+        unknown = sorted(set(params) - set(names))
+        if unknown:
+            raise ParameterError(
+                f"unknown parameter(s): {', '.join(unknown)}")
+        return tuple(params[n] for n in names)
+    if params is None:
+        raise ParameterError(
+            f"statement expects {len(parameters)} parameter(s), got 0")
+    values = tuple(params)
+    if len(values) != len(parameters):
+        raise ParameterError(
+            f"statement expects {len(parameters)} parameter(s), "
+            f"got {len(values)}")
+    return values
+
+
+class PreparedStatement:
+    """A statement compiled once and executed many times with new bindings.
+
+    Obtained from :meth:`Database.prepare`.  The compiled plan lives in
+    the database's plan cache; each :meth:`execute` consults the cache, so
+    DDL or significant data growth between executions transparently
+    triggers a replan (the handle never serves a stale plan).
+    """
+
+    def __init__(self, database: "Database", sql: str,
+                 mode: ExecutionMode) -> None:
+        self._database = database
+        self.sql = sql
+        self.mode = mode
+        self._database._cached_plan(sql, mode)  # compile eagerly
+
+    @property
+    def parameters(self) -> tuple:
+        """The statement's parameter markers, in slot order."""
+        return self._database._cached_plan(self.sql, self.mode).parameters
+
+    @property
+    def names(self) -> list[str]:
+        """Output column names."""
+        return list(self._database._cached_plan(self.sql, self.mode).names)
+
+    @property
+    def plan(self) -> PhysicalOp | None:
+        """The cached physical plan (``None`` in naive mode)."""
+        return self._database._cached_plan(self.sql, self.mode).plan
+
+    def execute(self, params: Params = None) -> QueryResult:
+        return self._database.execute(self.sql, self.mode, params)
+
+    def explain(self, costs: bool = False) -> str:
+        return self._database.explain(self.sql, self.mode, costs)
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.sql!r}, mode={self.mode.name})"
+
+
 class Database:
     """An embedded SQL database running the paper's optimizer pipeline."""
 
-    def __init__(self) -> None:
+    def __init__(self, plan_cache_capacity: int = 128) -> None:
         self.catalog = Catalog()
         self.storage = Storage()
         self._binder = Binder(self.catalog)
+        self._executor = PhysicalExecutor(self.storage)
+        self.plan_cache = PlanCache(plan_cache_capacity,
+                                    row_count_of=self._row_count)
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -113,6 +235,7 @@ class Database:
         table = TableDef(name, defs, primary_key, unique_keys)
         self.catalog.create_table(table)
         self.storage.create(table)
+        self.plan_cache.invalidate()
         return table
 
     def create_index(self, index_name: str, table_name: str,
@@ -121,24 +244,29 @@ class Database:
         index = IndexDef(index_name, table_name, tuple(column_names), kind)
         self.catalog.create_index(index)
         self.storage.get(table_name).add_index(index)
+        self.plan_cache.invalidate()
         return index
 
     def create_view(self, name: str, sql: str) -> None:
         """Create a view: a named query expanded (and then normalized and
         optimized) wherever it is referenced.  The definition is validated
         immediately by binding it once."""
-        from .sql import parse
-
-        self._binder.bind(parse(sql))  # validate eagerly
+        bound = self._binder.bind(parse(sql))  # validate eagerly
+        if bound.parameters:
+            raise BindError(
+                "view definitions cannot contain parameters")
         self.catalog.create_view(name, sql)
+        self.plan_cache.invalidate()
 
     def drop_view(self, name: str) -> None:
         self.catalog.drop_view(name)
+        self.plan_cache.invalidate()
 
     def drop_table(self, name: str) -> None:
         """Drop a table, its storage and its indexes."""
         self.catalog.drop_table(name)
         self.storage.drop(name)
+        self.plan_cache.invalidate()
 
     def table_names(self) -> list[str]:
         return [t.name for t in self.catalog.tables()]
@@ -153,24 +281,89 @@ class Database:
 
     # -- queries -------------------------------------------------------------------
 
-    def execute(self, sql: str,
-                mode: ExecutionMode = FULL) -> QueryResult:
-        bound = self._binder.bind(parse(sql))
-        if mode.use_naive_interpreter:
+    def execute(self, sql: str, mode: ExecutionMode | str = FULL,
+                params: Params = None) -> QueryResult:
+        """Execute ``sql``, binding ``params`` to its parameter markers.
+
+        Plans are served from :attr:`plan_cache`: re-executing the same
+        statement text (modulo whitespace and keyword case) skips parse,
+        bind, normalization and optimization entirely.  ``mode`` accepts
+        an :class:`ExecutionMode` or its name (``"full"``, ``"naive"``,
+        ...).
+        """
+        resolved = self._resolve_mode(mode)
+        entry = self._cached_plan(sql, resolved)
+        values = bind_parameters(entry.parameters, params)
+        if resolved.use_naive_interpreter:
             interpreter = NaiveInterpreter(
                 lambda name: self.storage.get(name).rows)
-            return QueryResult(bound.names, interpreter.run(bound.rel))
-        plan = self._plan(bound, mode)
-        executor = PhysicalExecutor(self.storage)
-        return QueryResult(bound.names, executor.run(plan))
+            rows = interpreter.run(entry.rel, values)
+        else:
+            rows = self._executor.run_prepared(entry.executable, values)
+        return QueryResult(list(entry.names), rows, entry.types)
 
-    def explain(self, sql: str, mode: ExecutionMode = FULL,
+    def prepare(self, sql: str,
+                mode: ExecutionMode | str = FULL) -> PreparedStatement:
+        """Compile ``sql`` once for repeated execution with fresh bindings."""
+        return PreparedStatement(self, sql, self._resolve_mode(mode))
+
+    def _resolve_mode(self, mode: ExecutionMode | str) -> ExecutionMode:
+        if isinstance(mode, ExecutionMode):
+            return mode
+        try:
+            return MODES[mode]
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"unknown execution mode {mode!r}; expected an "
+                f"ExecutionMode or one of: "
+                f"{', '.join(sorted(MODES))}") from None
+
+    def _cached_plan(self, sql: str, mode: ExecutionMode) -> CachedPlan:
+        """The compiled form of ``sql``, from cache or built fresh."""
+        sql_key = normalize_sql_key(sql)
+        entry = self.plan_cache.get(sql_key, mode.name, self.catalog.version)
+        if entry is not None:
+            return entry
+        bound = self._binder.bind(parse(sql))
+        table_names = frozenset(
+            get.table_name.lower()
+            for get in collect_nodes(bound.rel,
+                                     lambda n: isinstance(n, Get)))
+        if mode.use_naive_interpreter:
+            plan = None
+            executable = None
+        else:
+            plan = self._plan(bound, mode)
+            executable = self._executor.prepare(plan)
+        entry = CachedPlan(
+            sql_key=sql_key,
+            mode_name=mode.name,
+            catalog_version=self.catalog.version,
+            names=list(bound.names),
+            types=bound.column_types,
+            parameters=bound.parameters,
+            plan=plan,
+            rel=bound.rel,
+            executable=executable,
+            snapshot=self.plan_cache.capture_snapshot(table_names),
+            table_names=table_names)
+        self.plan_cache.put(entry)
+        return entry
+
+    def _row_count(self, table_name: str) -> int:
+        try:
+            return len(self.storage.get(table_name).rows)
+        except ReproError:
+            return 0
+
+    def explain(self, sql: str, mode: ExecutionMode | str = FULL,
                 costs: bool = False) -> str:
         """Normalized logical tree and chosen physical plan, as text.
 
         With ``costs=True`` the output ends with the optimizer's estimated
         cost (arbitrary work units) and estimated output rows.
         """
+        mode = self._resolve_mode(mode)
         bound = self._binder.bind(parse(sql))
         normalized = normalize(bound.rel, mode.normalize_config)
         sections = ["-- logical (normalized) --", explain(normalized)]
@@ -194,7 +387,8 @@ class Database:
                 sections += ["-- physical --", explain_physical(plan)]
         return "\n".join(sections)
 
-    def plan(self, sql: str, mode: ExecutionMode = FULL) -> PhysicalOp:
+    def plan(self, sql: str, mode: ExecutionMode | str = FULL) -> PhysicalOp:
+        mode = self._resolve_mode(mode)
         bound = self._binder.bind(parse(sql))
         return self._plan(bound, mode)
 

@@ -1,0 +1,190 @@
+"""Minimal DB-API 2.0 (PEP 249) adapter over :class:`repro.Database`.
+
+Lets standard database tooling talk to the engine::
+
+    import repro.dbapi as dbapi
+
+    conn = dbapi.connect()
+    cur = conn.cursor()
+    cur.execute("select a from t where a > ?", (1,))
+    print(cur.fetchall())
+
+Only the query subset of the spec is implemented (this engine has no
+transactions: ``commit`` is a no-op and ``rollback`` raises).  Parameters
+use the ``qmark`` style, matching the engine's native ``?`` markers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from .database import Database, QueryResult
+from .errors import ReproError
+
+apilevel = "2.0"
+threadsafety = 1  # threads may share the module, not connections
+paramstyle = "qmark"
+
+
+class Error(Exception):
+    """Base of the PEP 249 exception hierarchy."""
+
+
+class InterfaceError(Error):
+    """Misuse of the interface itself (e.g. operating on a closed cursor)."""
+
+
+class DatabaseError(Error):
+    """Base for errors related to the database."""
+
+
+class ProgrammingError(DatabaseError):
+    """Bad SQL, unknown names, wrong parameter usage."""
+
+
+class OperationalError(DatabaseError):
+    """Errors during execution not caused by the statement text."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature the engine does not provide."""
+
+
+def connect(database: Database | None = None) -> "Connection":
+    """Open a connection; wraps an existing engine or creates a fresh one."""
+    return Connection(database if database is not None else Database())
+
+
+class Connection:
+    """A PEP 249 connection: a cursor factory over one engine instance."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._closed = False
+
+    @property
+    def database(self) -> Database:
+        """The underlying engine (for DDL and inserts, which PEP 249
+        routes through ``cursor.execute`` in richer implementations)."""
+        return self._database
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def commit(self) -> None:
+        self._check_open()  # no transactions: every statement autocommits
+
+    def rollback(self) -> None:
+        self._check_open()
+        raise NotSupportedError("this engine has no transactions")
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Cursor:
+    """A PEP 249 cursor: executes statements and buffers their results."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self._closed = False
+        self._result: QueryResult | None = None
+        self._position = 0
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, operation: str,
+                parameters: Sequence[Any] | Mapping[str, Any] = ()
+                ) -> "Cursor":
+        self._check_open()
+        self.connection._check_open()
+        try:
+            self._result = self.connection.database.execute(
+                operation, params=parameters or None)
+        except ReproError as exc:
+            raise ProgrammingError(str(exc)) from exc
+        self._position = 0
+        return self
+
+    def executemany(self, operation: str,
+                    seq_of_parameters: Sequence[Sequence[Any]]) -> "Cursor":
+        for parameters in seq_of_parameters:
+            self.execute(operation, parameters)
+        return self
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def description(self) -> list[tuple] | None:
+        """PEP 249 7-tuples: (name, type_code, None, None, None, None, None)."""
+        if self._result is None:
+            return None
+        return [(name, dtype, None, None, None, None, None)
+                for name, dtype in self._result.columns]
+
+    @property
+    def rowcount(self) -> int:
+        return -1 if self._result is None else len(self._result.rows)
+
+    def fetchone(self) -> tuple | None:
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        rows = self._rows()
+        count = self.arraysize if size is None else size
+        chunk = rows[self._position:self._position + count]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[tuple]:
+        rows = self._rows()
+        chunk = rows[self._position:]
+        self._position = len(rows)
+        return chunk
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def setinputsizes(self, sizes) -> None:
+        pass  # optional per PEP 249
+
+    def setoutputsize(self, size, column=None) -> None:
+        pass  # optional per PEP 249
+
+    def _rows(self) -> list[tuple]:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no result set; call execute() first")
+        return self._result.rows
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")

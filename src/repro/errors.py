@@ -38,6 +38,15 @@ class ExecutionError(ReproError):
     """Raised for run-time execution failures."""
 
 
+class ParameterError(ReproError):
+    """Raised when query-parameter bindings do not match the statement.
+
+    Covers arity mismatches, missing or unknown named parameters, and
+    supplying a mapping to a positionally-parameterized statement (or
+    vice versa).
+    """
+
+
 class SubqueryReturnedMultipleRows(ExecutionError):
     """SQL run-time error: a scalar subquery returned more than one row.
 

@@ -16,7 +16,7 @@ from ..algebra.datatypes import (ARITHMETIC_FUNCTIONS, sql_and, sql_compare,
 from ..algebra.scalar import (AggregateCall, And, Arithmetic, Case,
                               ColumnRef, Comparison, Extract, InList,
                               IsNull, Like, Literal, Negate, Not, Or,
-                              ScalarExpr)
+                              Parameter, ScalarExpr, parameter_slot)
 from ..errors import ExecutionError
 from .naive import like_match
 
@@ -43,6 +43,18 @@ def compile_expr(expr: ScalarExpr, layout: Layout) -> Compiled:
                 raise ExecutionError(
                     f"unbound column/parameter {expr.column!r}") from None
         return read_param
+
+    if isinstance(expr, Parameter):
+        slot = parameter_slot(expr.index)
+        label = expr.sql()
+
+        def read_query_param(row: tuple, params: Mapping[int, Any]) -> Any:
+            try:
+                return params[slot]
+            except KeyError:
+                raise ExecutionError(
+                    f"unbound query parameter {label}") from None
+        return read_query_param
 
     if isinstance(expr, Comparison):
         op = expr.op

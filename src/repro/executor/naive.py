@@ -35,9 +35,9 @@ from ..algebra.relational import (Apply, ConstantScan, Difference, Get,
 from ..algebra.scalar import (AggregateCall, And, Arithmetic, Case,
                               ColumnRef, Comparison, ExistsSubquery,
                               Extract, InList, InSubquery, IsNull, Like,
-                              Literal, Negate, Not, Or,
+                              Literal, Negate, Not, Or, Parameter,
                               QuantifiedComparison, ScalarExpr,
-                              ScalarSubquery)
+                              ScalarSubquery, parameter_slot)
 from ..errors import ExecutionError, SubqueryReturnedMultipleRows
 
 Row = dict[int, Any]
@@ -56,11 +56,21 @@ class NaiveInterpreter:
 
     # -- public API --------------------------------------------------------------
 
-    def run(self, rel: RelationalOp) -> list[tuple]:
-        """Execute and return rows as tuples in output-column order."""
+    def run(self, rel: RelationalOp,
+            params: Iterable[Any] | None = None) -> list[tuple]:
+        """Execute and return rows as tuples in output-column order.
+
+        ``params`` binds query parameters (slot order); they live in the
+        environment under negative keys (``parameter_slot``), disjoint
+        from column ids.
+        """
+        env: Row = {}
+        if params is not None:
+            for i, value in enumerate(params):
+                env[parameter_slot(i)] = value
         columns = rel.output_columns()
         return [tuple(row[c.cid] for c in columns)
-                for row in self.rows(rel, {})]
+                for row in self.rows(rel, env)]
 
     # -- relational evaluation ----------------------------------------------------
 
@@ -277,6 +287,12 @@ class NaiveInterpreter:
     def scalar(self, expr: ScalarExpr, env: Row) -> Any:
         if isinstance(expr, Literal):
             return expr.value
+        if isinstance(expr, Parameter):
+            try:
+                return env[parameter_slot(expr.index)]
+            except KeyError:
+                raise ExecutionError(
+                    f"unbound query parameter {expr.sql()}") from None
         if isinstance(expr, ColumnRef):
             try:
                 return env[expr.column.cid]

@@ -14,7 +14,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 from ..algebra.aggregates import descriptor
 from ..algebra.columns import Column
 from ..algebra.relational import JoinKind
-from ..algebra.scalar import AggregateCall
+from ..algebra.scalar import AggregateCall, parameter_slot
 from ..errors import ExecutionError, SubqueryReturnedMultipleRows
 from ..physical.plan import (PConstantScan, PDifference, PFilter,
                              PHashAggregate, PHashJoin, PIndexSeek,
@@ -63,9 +63,22 @@ class PhysicalExecutor:
         self._storage = storage
         self._spill_threshold = aggregate_spill_threshold
 
-    def run(self, plan: PhysicalOp) -> list[tuple]:
-        executable = self.prepare(plan)
+    def run(self, plan: PhysicalOp,
+            params: Sequence[Any] | None = None) -> list[tuple]:
+        return self.run_prepared(self.prepare(plan), params)
+
+    def run_prepared(self, executable: _Executable,
+                     params: Sequence[Any] | None = None) -> list[tuple]:
+        """Execute a prepared plan, optionally binding query parameters.
+
+        ``params`` is a sequence in slot order; slot ``i`` is published to
+        expression evaluation under ``parameter_slot(i)`` so one compiled
+        plan can run under many bindings.
+        """
         ctx = ExecutionContext()
+        if params is not None:
+            for i, value in enumerate(params):
+                ctx.params[parameter_slot(i)] = value
         return list(executable.rows(ctx))
 
     # -- preparation ------------------------------------------------------------

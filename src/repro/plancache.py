@@ -1,0 +1,170 @@
+"""Parameterized plan cache: LRU over compiled query plans.
+
+Prepared statements and transparently-cached ad-hoc queries both land here.
+A cache entry holds everything needed to re-execute a statement without
+repeating parse → bind → normalize → optimize → compile: the optimized
+physical plan, the prepared executable, the output schema and the parameter
+list.  Entries are keyed on the *token-normalized* SQL text (whitespace,
+comments and letter case of keywords do not fragment the cache), the
+execution-mode name, and the catalog schema version at plan time.
+
+Soundness comes from three mechanisms:
+
+* **Schema versioning** — the key embeds ``catalog.version``; any DDL bumps
+  it, so post-DDL lookups miss and replan against the new schema.
+* **Explicit invalidation** — DDL entry points also call
+  :meth:`PlanCache.invalidate`, dropping entries eagerly instead of letting
+  them age out of the LRU.
+* **Statistics drift** — each entry snapshots the row counts of the tables
+  it references (:mod:`repro.stats_version`); a hit whose snapshot drifted
+  beyond the threshold is discarded and replanned, so a plan costed against
+  an empty table does not survive a bulk load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+from .sql.lexer import TokenType, tokenize
+from .stats_version import (DEFAULT_DRIFT_THRESHOLD, StatsSnapshot, capture,
+                            drifted)
+
+
+def normalize_sql_key(sql: str) -> Hashable:
+    """A cache key for ``sql`` insensitive to whitespace and keyword case.
+
+    Built from the token stream, so ``SELECT  1`` and ``select 1`` share an
+    entry while ``select 1`` and ``select 2`` do not.  Unlexable text gets
+    the raw string as its key: the subsequent parse will raise the real
+    syntax error, and caching never masks it.
+    """
+    try:
+        tokens = tokenize(sql)
+    except Exception:
+        return sql
+    return tuple((t.type.value, t.value) for t in tokens
+                 if t.type is not TokenType.EOF)
+
+
+@dataclass
+class CachedPlan:
+    """One compiled statement: plan, executable, schema, provenance."""
+
+    sql_key: Hashable
+    mode_name: str
+    catalog_version: int
+    names: list[str]
+    types: list[Any]
+    parameters: tuple
+    plan: Any
+    rel: Any
+    executable: Any
+    snapshot: StatsSnapshot
+    table_names: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def key(self) -> tuple:
+        return (self.sql_key, self.mode_name, self.catalog_version)
+
+
+@dataclass
+class CacheStats:
+    """Observable cache behaviour, for tests and monitoring."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    stale: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.invalidations = self.stale = 0
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` entries with staleness checking.
+
+    ``row_count_of`` supplies current table sizes for the drift test; pass
+    ``None`` to disable staleness checking (entries then live until DDL
+    invalidation or LRU eviction).
+    """
+
+    def __init__(self, capacity: int = 128,
+                 row_count_of: Callable[[str], int] | None = None,
+                 drift_threshold: float = DEFAULT_DRIFT_THRESHOLD) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self.drift_threshold = drift_threshold
+        self._row_count_of = row_count_of
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, sql_key: Hashable, mode_name: str,
+            catalog_version: int) -> CachedPlan | None:
+        """Look up a cached plan, applying LRU touch and staleness check."""
+        key = (sql_key, mode_name, catalog_version)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self._is_stale(entry):
+            del self._entries[key]
+            self.stats.stale += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, entry: CachedPlan) -> None:
+        key = entry.key
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, table_name: str | None = None) -> int:
+        """Drop cached plans; all of them, or those touching one table.
+
+        Returns the number of entries removed.  Called from every DDL
+        entry point — the schema-version key component already guarantees
+        correctness, so this is about reclaiming memory eagerly rather
+        than stranding dead entries until LRU eviction.
+        """
+        if table_name is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            wanted = table_name.lower()
+            doomed = [key for key, entry in self._entries.items()
+                      if wanted in entry.table_names]
+            for key in doomed:
+                del self._entries[key]
+            removed = len(doomed)
+        self.stats.invalidations += removed
+        return removed
+
+    def capture_snapshot(self,
+                         table_names: Sequence[str]) -> StatsSnapshot:
+        """Snapshot current row counts for a new entry's staleness check."""
+        if self._row_count_of is None:
+            return StatsSnapshot({})
+        return capture(self._row_count_of, table_names)
+
+    def _is_stale(self, entry: CachedPlan) -> bool:
+        if self._row_count_of is None:
+            return False
+        return drifted(entry.snapshot, self._row_count_of,
+                       self.drift_threshold)

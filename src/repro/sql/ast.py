@@ -80,6 +80,19 @@ class IntervalLiteral(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A parameter marker: positional ``?`` or named ``:name``.
+
+    ``index`` is the zero-based slot assigned by the parser (appearance
+    order for ``?``; first-appearance order per distinct name for
+    ``:name``).
+    """
+
+    index: int
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class BinaryOp(Expr):
     """Arithmetic, comparison, AND/OR — parser-level binary operator."""
 

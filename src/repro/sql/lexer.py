@@ -20,6 +20,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -139,6 +140,24 @@ def tokenize(text: str) -> list[Token]:
             tokens.append(Token(TokenType.IDENT, text[i + 1:j].lower(),
                                 line, start_column))
             i = j + 1
+            continue
+
+        if ch == "?":
+            # Positional parameter marker; slots are assigned by the parser.
+            tokens.append(Token(TokenType.PARAM, "", line, start_column))
+            i += 1
+            continue
+
+        if ch == ":":
+            j = i + 1
+            if j >= n or not (text[j].isalpha() or text[j] == "_"):
+                raise SqlSyntaxError("expected parameter name after ':'",
+                                     line, start_column)
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenType.PARAM, text[i + 1:j].lower(),
+                                line, start_column))
+            i = j
             continue
 
         matched_operator = None

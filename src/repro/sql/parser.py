@@ -21,7 +21,7 @@ from .ast import (BetweenExpr, BinaryOp, BooleanLiteral, CaseExpr,
                   DateLiteral, DerivedTable, ExistsExpr, Expr, ExtractExpr,
                   FunctionCall, Identifier, InExpr, IntervalLiteral,
                   IsNullExpr, JoinExpr, LikeExpr, NullLiteral,
-                  NumberLiteral, OrderItem, Query, QuantifiedExpr,
+                  NumberLiteral, OrderItem, Parameter, Query, QuantifiedExpr,
                   SelectItem, SelectStatement, Star, StringLiteral,
                   SubqueryExpr, TableExpr, TableRef, UnaryOp,
                   UnionStatement)
@@ -44,6 +44,9 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._position = 0
+        # Parameter slot assignment is statement-wide (subqueries included).
+        self._positional_params = 0
+        self._named_params: dict[str, int] = {}
 
     # -- token plumbing ---------------------------------------------------------
 
@@ -411,6 +414,10 @@ class _Parser:
             self.advance()
             return StringLiteral(token.value)
 
+        if token.type is TokenType.PARAM:
+            self.advance()
+            return self._make_parameter(token)
+
         if token.matches_keyword("null"):
             self.advance()
             return NullLiteral()
@@ -508,6 +515,23 @@ class _Parser:
             return Identifier(tuple(parts))
 
         raise self.error("expected expression")
+
+    def _make_parameter(self, token: Token) -> Parameter:
+        if token.value == "":  # positional `?`
+            if self._named_params:
+                raise SqlSyntaxError(
+                    "cannot mix positional (?) and named (:name) parameters",
+                    token.line, token.column)
+            index = self._positional_params
+            self._positional_params += 1
+            return Parameter(index)
+        if self._positional_params:
+            raise SqlSyntaxError(
+                "cannot mix positional (?) and named (:name) parameters",
+                token.line, token.column)
+        index = self._named_params.setdefault(token.value,
+                                              len(self._named_params))
+        return Parameter(index, token.value)
 
     def _parse_case(self) -> Expr:
         self.expect_keyword("case")

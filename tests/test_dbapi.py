@@ -1,0 +1,120 @@
+"""The DB-API 2.0 (PEP 249) adapter."""
+
+import pytest
+
+from repro import Database, DataType, dbapi
+
+
+def make_connection():
+    db = Database()
+    db.create_table("t", [("a", DataType.INTEGER, False),
+                          ("b", DataType.VARCHAR, False)],
+                    primary_key=("a",))
+    db.insert("t", [(1, "x"), (2, "y"), (3, "z")])
+    return dbapi.connect(db)
+
+
+class TestModuleGlobals:
+    def test_pep249_module_attributes(self):
+        assert dbapi.apilevel == "2.0"
+        assert dbapi.paramstyle == "qmark"
+        assert isinstance(dbapi.threadsafety, int)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(dbapi.InterfaceError, dbapi.Error)
+        assert issubclass(dbapi.DatabaseError, dbapi.Error)
+        assert issubclass(dbapi.ProgrammingError, dbapi.DatabaseError)
+        assert issubclass(dbapi.OperationalError, dbapi.DatabaseError)
+
+    def test_connect_creates_fresh_engine(self):
+        conn = dbapi.connect()
+        assert isinstance(conn.database, Database)
+
+
+class TestCursor:
+    def test_execute_and_fetchall(self):
+        cur = make_connection().cursor()
+        cur.execute("select a, b from t order by a")
+        assert cur.fetchall() == [(1, "x"), (2, "y"), (3, "z")]
+        assert cur.fetchall() == []  # exhausted
+
+    def test_qmark_parameters(self):
+        cur = make_connection().cursor()
+        cur.execute("select b from t where a = ?", (2,))
+        assert cur.fetchall() == [("y",)]
+
+    def test_fetchone_walks_rows(self):
+        cur = make_connection().cursor()
+        cur.execute("select a from t order by a")
+        assert cur.fetchone() == (1,)
+        assert cur.fetchone() == (2,)
+        assert cur.fetchone() == (3,)
+        assert cur.fetchone() is None
+
+    def test_fetchmany_respects_size_and_arraysize(self):
+        cur = make_connection().cursor()
+        cur.execute("select a from t order by a")
+        assert cur.fetchmany(2) == [(1,), (2,)]
+        assert cur.fetchmany(2) == [(3,)]
+        cur.execute("select a from t order by a")
+        assert cur.fetchmany() == [(1,)]  # default arraysize = 1
+
+    def test_description_and_rowcount(self):
+        cur = make_connection().cursor()
+        assert cur.description is None
+        cur.execute("select a, b from t")
+        assert [d[0] for d in cur.description] == ["a", "b"]
+        assert [d[1] for d in cur.description] == [DataType.INTEGER,
+                                                   DataType.VARCHAR]
+        assert all(len(d) == 7 for d in cur.description)
+        assert cur.rowcount == 3
+
+    def test_iteration(self):
+        cur = make_connection().cursor()
+        cur.execute("select a from t order by a")
+        assert [row for row in cur] == [(1,), (2,), (3,)]
+
+    def test_executemany(self):
+        cur = make_connection().cursor()
+        cur.executemany("select a from t where a = ?", [(1,), (2,)])
+        assert cur.fetchall() == [(2,)]  # last execution's result
+
+    def test_bad_sql_raises_programming_error(self):
+        cur = make_connection().cursor()
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("select from from t")
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("select nope from t")
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("select a from t where a = ?")  # unbound param
+
+
+class TestLifecycle:
+    def test_closed_cursor_rejects_use(self):
+        cur = make_connection().cursor()
+        cur.close()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.execute("select 1 from t")
+
+    def test_closed_connection_rejects_cursors(self):
+        conn = make_connection()
+        conn.close()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor()
+
+    def test_fetch_before_execute_rejected(self):
+        cur = make_connection().cursor()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.fetchall()
+
+    def test_commit_is_noop_rollback_unsupported(self):
+        conn = make_connection()
+        conn.commit()
+        with pytest.raises(dbapi.NotSupportedError):
+            conn.rollback()
+
+    def test_context_manager_closes(self):
+        with make_connection() as conn:
+            conn.cursor().execute("select 1 from t")
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor()

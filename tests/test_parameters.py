@@ -1,0 +1,230 @@
+"""Parameterized queries: parsing, binding, execution, differential checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (FULL, MODES, NAIVE, BindError, Database, DataType,
+                   ParameterError, SqlSyntaxError)
+from repro.algebra import Literal, Parameter, parameter_slot
+from repro.core.normalize.simplify import fold_constants
+from repro.sql import ast, parse
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("t", [("a", DataType.INTEGER, False),
+                          ("b", DataType.VARCHAR, False),
+                          ("c", DataType.INTEGER, True)],
+                    primary_key=("a",))
+    db.insert("t", [(1, "x", 10), (2, "y", None), (3, "z", 30),
+                    (4, "x", 40)])
+    return db
+
+
+# -- parsing -----------------------------------------------------------------
+
+class TestParsing:
+    def test_positional_markers_get_sequential_slots(self):
+        query = parse("select 1 from t where a = ? and c = ?")
+        params = _collect_params(query)
+        assert [p.index for p in params] == [0, 1]
+        assert all(p.name is None for p in params)
+
+    def test_named_markers_share_slots_by_name(self):
+        query = parse("select 1 from t where a = :x and c = :x and b = :y")
+        params = _collect_params(query)
+        assert [(p.name, p.index) for p in params] == [
+            ("x", 0), ("x", 0), ("y", 1)]
+
+    def test_mixing_styles_is_a_syntax_error(self):
+        with pytest.raises(SqlSyntaxError, match="cannot mix"):
+            parse("select 1 from t where a = ? and b = :x")
+        with pytest.raises(SqlSyntaxError, match="cannot mix"):
+            parse("select 1 from t where a = :x and b = ?")
+
+    def test_colon_without_name_is_a_syntax_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select 1 from t where a = :")
+
+    def test_slots_span_subqueries(self):
+        query = parse("select 1 from t where a = ? and c in "
+                      "(select a from t where b = ?)")
+        params = _collect_params(query)
+        assert sorted(p.index for p in params) == [0, 1]
+
+
+# -- binding -----------------------------------------------------------------
+
+class TestBinding:
+    def test_bound_query_lists_parameters_in_slot_order(self):
+        db = make_db()
+        bound = db._binder.bind(parse(
+            "select a from t where b = :s and a > :n"))
+        assert [p.name for p in bound.parameters] == ["s", "n"]
+        assert all(isinstance(p, Parameter) for p in bound.parameters)
+
+    def test_parameter_type_is_unknown_and_nullable(self):
+        param = Parameter(0)
+        assert param.dtype is DataType.UNKNOWN
+        assert param.nullable
+
+    def test_parameters_allowed_in_aggregates_and_arithmetic(self):
+        db = make_db()
+        bound = db._binder.bind(parse("select sum(a * ?) from t"))
+        assert len(bound.parameters) == 1
+
+    def test_parameter_rejected_in_view_definition(self):
+        db = make_db()
+        with pytest.raises(BindError, match="view"):
+            db.create_view("v", "select a from t where a > ?")
+
+    def test_parameter_rejected_through_view_reference(self):
+        # A view whose stored text somehow contains a marker must still be
+        # rejected when expanded at bind time.
+        db = make_db()
+        db.catalog.create_view("v", "select a from t where a > ?")
+        with pytest.raises(BindError, match="view"):
+            db.execute("select * from v")
+
+    def test_fold_constants_never_folds_parameters(self):
+        expr = fold_constants(Parameter(0))
+        assert isinstance(expr, Parameter)
+        db = make_db()
+        bound = db._binder.bind(parse("select a from t where a = 1 + ?"))
+        from repro.algebra import Select, collect_nodes
+        (select,) = collect_nodes(bound.rel,
+                                  lambda n: isinstance(n, Select))
+        folded = fold_constants(select.predicate)
+        assert not isinstance(folded, Literal)
+
+    def test_parameter_slot_disjoint_from_cids(self):
+        # Column ids are positive; parameter slots must never collide.
+        assert parameter_slot(0) == -1
+        assert all(parameter_slot(i) < 0 for i in range(100))
+
+
+# -- execution ---------------------------------------------------------------
+
+class TestExecution:
+    def test_positional_binding(self):
+        db = make_db()
+        result = db.execute("select a from t where b = ?", params=("x",))
+        assert sorted(result.rows) == [(1,), (4,)]
+
+    def test_named_binding_via_mapping(self):
+        db = make_db()
+        result = db.execute(
+            "select a from t where a >= :lo and a <= :hi",
+            params={"lo": 2, "hi": 3})
+        assert sorted(result.rows) == [(2,), (3,)]
+
+    def test_named_binding_via_sequence_in_slot_order(self):
+        db = make_db()
+        result = db.execute(
+            "select a from t where a >= :lo and a <= :hi", params=(2, 3))
+        assert sorted(result.rows) == [(2,), (3,)]
+
+    def test_same_plan_different_bindings(self):
+        db = make_db()
+        stmt = db.prepare("select a from t where b = ?")
+        assert sorted(stmt.execute(("x",)).rows) == [(1,), (4,)]
+        assert stmt.execute(("y",)).rows == [(2,)]
+        assert stmt.execute(("nope",)).rows == []
+
+    def test_null_parameter_is_sql_null(self):
+        db = make_db()
+        # c = NULL is UNKNOWN for every row: empty result.
+        assert db.execute("select a from t where c = ?",
+                          params=(None,)).rows == []
+        # ... in every mode.
+        assert db.execute("select a from t where c = ?", mode=NAIVE,
+                          params=(None,)).rows == []
+
+    def test_parameter_in_select_list(self):
+        db = make_db()
+        result = db.execute("select a, ? from t where a = 1", params=(99,))
+        assert result.rows == [(1, 99)]
+
+    def test_parameter_in_correlated_subquery(self):
+        db = make_db()
+        sql = ("select a from t where a > "
+               "(select min(a) from t as u where u.b = t.b and u.a > ?)")
+        full = db.execute(sql, params=(0,))
+        naive = db.execute(sql, mode=NAIVE, params=(0,))
+        assert sorted(full.rows) == sorted(naive.rows) == [(4,)]
+
+    def test_parameterized_index_seek(self):
+        db = make_db()
+        # Enough rows that the cost model prefers a seek over a scan.
+        db.insert("t", [(i, f"k{i}", i) for i in range(10, 200)])
+        db.create_index("ix_t_b", "t", ["b"])
+        stmt = db.prepare("select a from t where b = ?")
+        assert "IndexSeek" in db.explain("select a from t where b = ?")
+        assert sorted(stmt.execute(("x",)).rows) == [(1,), (4,)]
+        assert stmt.execute(("z",)).rows == [(3,)]
+        assert stmt.execute(("k42",)).rows == [(42,)]
+
+    def test_arity_and_shape_errors(self):
+        db = make_db()
+        with pytest.raises(ParameterError, match="expects 1"):
+            db.execute("select a from t where a = ?")
+        with pytest.raises(ParameterError, match="expects 1"):
+            db.execute("select a from t where a = ?", params=(1, 2))
+        with pytest.raises(ParameterError, match="takes no"):
+            db.execute("select a from t", params=(1,))
+        with pytest.raises(ParameterError, match="missing"):
+            db.execute("select a from t where a = :x", params={})
+        with pytest.raises(ParameterError, match="unknown"):
+            db.execute("select a from t where a = :x",
+                       params={"x": 1, "y": 2})
+        with pytest.raises(ParameterError, match="mapping"):
+            db.execute("select a from t where a = ?", params={"x": 1})
+        with pytest.raises(ParameterError, match="string"):
+            db.execute("select a from t where b = ?", params="x")
+
+
+# -- differential: FULL vs NAIVE under randomized bindings -------------------
+
+_PARAM_VALUES = st.one_of(st.none(), st.integers(-5, 50))
+
+
+class TestDifferential:
+    @given(lo=_PARAM_VALUES, hi=_PARAM_VALUES)
+    @settings(max_examples=25, deadline=None)
+    def test_range_predicate_agrees_across_modes(self, lo, hi):
+        db = make_db()
+        sql = "select a, c from t where c >= ? and c <= ?"
+        expected = db.execute(sql, mode=NAIVE, params=(lo, hi))
+        for mode in MODES.values():
+            got = db.execute(sql, mode=mode, params=(lo, hi))
+            assert sorted(got.rows, key=repr) == \
+                sorted(expected.rows, key=repr), mode.name
+
+    @given(threshold=_PARAM_VALUES)
+    @settings(max_examples=25, deadline=None)
+    def test_parameterized_subquery_agrees_across_modes(self, threshold):
+        db = make_db()
+        sql = ("select b, count(*) from t "
+               "where a > (select min(a) from t as u "
+               "           where u.b = t.b and u.c >= ?) "
+               "group by b")
+        expected = db.execute(sql, mode=NAIVE, params=(threshold,))
+        full = db.execute(sql, mode=FULL, params=(threshold,))
+        assert sorted(full.rows, key=repr) == \
+            sorted(expected.rows, key=repr)
+
+
+def _collect_params(node, acc=None):
+    """All ast.Parameter nodes in a parsed statement (any order)."""
+    if acc is None:
+        acc = []
+    if isinstance(node, ast.Parameter):
+        acc.append(node)
+    if hasattr(node, "__dataclass_fields__"):
+        for name in node.__dataclass_fields__:
+            _collect_params(getattr(node, name), acc)
+    elif isinstance(node, (list, tuple)):
+        for item in node:
+            _collect_params(item, acc)
+    return acc

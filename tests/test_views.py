@@ -91,6 +91,26 @@ class TestViews:
         with pytest.raises(CatalogError, match="table"):
             db.create_view("customer", "select 1 as one")
 
+    def test_failed_create_view_leaves_no_partial_state(self, db):
+        # Regression: a rejected definition must not register the view,
+        # and the engine must keep executing normally afterwards.
+        with pytest.raises(CatalogError):
+            db.create_view("customer", "select 1 as one")
+        assert not db.catalog.has_view("customer")
+        with pytest.raises(BindError):
+            db.create_view("bad", "select no_such_column from customer")
+        assert not db.catalog.has_view("bad")
+        assert len(db.execute("select c_custkey from customer").rows) == 3
+
+    def test_view_usable_immediately_and_after_cache_warmup(self, db):
+        # Regression for the shadowed module-level `parse` import in
+        # Database.create_view: creating a view mid-session (with cached
+        # plans live) must validate and register correctly.
+        db.execute("select c_name from customer")  # warm the plan cache
+        db.create_view("names", "select c_name from customer")
+        result = db.execute("select * from names order by c_name")
+        assert result.rows == [("alice",), ("bob",), ("carol",)]
+
     def test_table_collision_with_view(self, db):
         db.create_view("v", "select 1 as one")
         with pytest.raises(CatalogError, match="view"):
