@@ -1,0 +1,57 @@
+"""Governor overhead — governed vs. ungoverned TPC-H Q17.
+
+The resource governor is cooperative: scans whose size fits the row
+budget are charged once at open time, streamed meters pull rows in
+``islice`` chunks, and the monotonic clock is consulted only at chunk
+boundaries — so a governed run with generous limits must track an
+ungoverned run within 5%.  This benchmark pins that claim.
+
+Methodology: single end-to-end timings at millisecond scale are noisy
+(timer jitter, CPU frequency drift), so each sample times a batch of
+executions, governed and ungoverned batches alternate back to back, and
+the estimator is the *median of paired ratios* — drift hits both sides
+of a pair equally and cancels.
+"""
+
+import statistics
+import time
+
+from repro import FULL
+from repro.bench import tpch_database
+from repro.tpch import QUERIES
+
+SCALE_FACTOR = 0.01
+BATCH = 8        # executions per timed sample
+PAIRS = 12       # alternating (ungoverned, governed) sample pairs
+MAX_OVERHEAD = 0.05
+
+
+def test_governor_overhead_under_five_percent():
+    db = tpch_database(SCALE_FACTOR)
+    sql = QUERIES["Q17"]
+    generous = dict(timeout=300.0, row_budget=10**12,
+                    memory_budget=10**12)
+
+    def sample(**limits):
+        started = time.perf_counter()
+        for _ in range(BATCH):
+            db.execute(sql, FULL, **limits)
+        return (time.perf_counter() - started) / BATCH
+
+    # Warm both paths: plan-cache admission, storage caches.
+    db.execute(sql, FULL)
+    db.execute(sql, FULL, **generous)
+
+    pairs = [(sample(), sample(**generous)) for _ in range(PAIRS)]
+    overhead = statistics.median(g / u for u, g in pairs) - 1.0
+    best_u = min(u for u, _ in pairs)
+    best_g = min(g for _, g in pairs)
+
+    print()
+    print(f"Q17 @ sf={SCALE_FACTOR}: ungoverned best {best_u * 1e3:.2f} ms,"
+          f" governed best {best_g * 1e3:.2f} ms,"
+          f" median paired overhead {overhead:+.1%}")
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"governor overhead {overhead:.1%} exceeds the "
+        f"{MAX_OVERHEAD:.0%} target")

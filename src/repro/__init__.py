@@ -24,15 +24,20 @@ from .database import (CORRELATED, DECORRELATE_ONLY, FULL, MODES, NAIVE,
                        Database, ExecutionMode, PreparedStatement,
                        QueryResult)
 from .errors import (BindError, CatalogError, ExecutionError,
-                     ParameterError, PlanError, ReproError, SqlSyntaxError,
+                     InjectedFault, OptimizerBudgetExceeded,
+                     ParameterError, PlanError, QueryTimeout, ReproError,
+                     ResourceError, ResourceExhausted, SqlSyntaxError,
                      SubqueryReturnedMultipleRows)
+from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .plancache import PlanCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["BindError", "CORRELATED", "CatalogError", "DECORRELATE_ONLY",
            "DataType", "Database", "ExecutionError", "ExecutionMode",
-           "FULL", "Interval", "MODES", "NAIVE", "ParameterError",
+           "FULL", "InjectedFault", "Interval", "MODES", "NAIVE",
+           "OptimizerBudget", "OptimizerBudgetExceeded", "ParameterError",
            "PlanCache", "PlanError", "PreparedStatement", "QueryResult",
-           "ReproError", "SqlSyntaxError", "SubqueryReturnedMultipleRows",
-           "__version__"]
+           "QueryStats", "QueryTimeout", "ReproError", "ResourceError",
+           "ResourceExhausted", "ResourceGovernor", "SqlSyntaxError",
+           "SubqueryReturnedMultipleRows", "__version__"]

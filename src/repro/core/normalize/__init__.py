@@ -4,11 +4,13 @@ from .apply_removal import ApplyRemovalConfig, is_not_true, remove_applies
 from .classify import (SubqueryClass, SubqueryReport,
                        classify_residual_applies, classify_query)
 from .mutual_recursion import remove_subqueries
-from .normalizer import NormalizeConfig, normalize
+from .normalizer import (MAX_PLAN_DEPTH, NormalizeConfig, check_plan_depth,
+                         normalize, tree_depth)
 from .oj_simplify import simplify_outerjoins
 from .simplify import simplify
 
-__all__ = ["ApplyRemovalConfig", "NormalizeConfig", "SubqueryClass",
-           "SubqueryReport", "classify_query", "classify_residual_applies",
-           "is_not_true", "normalize", "remove_applies",
-           "remove_subqueries", "simplify", "simplify_outerjoins"]
+__all__ = ["ApplyRemovalConfig", "MAX_PLAN_DEPTH", "NormalizeConfig",
+           "SubqueryClass", "SubqueryReport", "check_plan_depth",
+           "classify_query", "classify_residual_applies", "is_not_true",
+           "normalize", "remove_applies", "remove_subqueries", "simplify",
+           "simplify_outerjoins", "tree_depth"]

@@ -19,10 +19,41 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...algebra import RelationalOp
+from ...errors import PlanError
 from .apply_removal import ApplyRemovalConfig, remove_applies
 from .mutual_recursion import remove_subqueries
 from .oj_simplify import simplify_outerjoins
 from .simplify import simplify
+
+#: Maximum relational-tree depth accepted by normalization.  The rewrite
+#: passes are recursive; a deeper tree (programmatically constructed, or
+#: grown by pathological rewrites) would die with a raw RecursionError,
+#: so it is rejected up front with a clear PlanError instead.  SQL text
+#: cannot get near this: the parser caps nesting far lower.
+MAX_PLAN_DEPTH = 128
+
+
+def tree_depth(rel: RelationalOp) -> int:
+    """Depth of a relational tree, computed iteratively (never recurses,
+    so it is safe on exactly the trees the cap exists to reject)."""
+    deepest = 0
+    stack = [(rel, 1)]
+    while stack:
+        node, depth = stack.pop()
+        if depth > deepest:
+            deepest = depth
+        for child in node.children:
+            stack.append((child, depth + 1))
+    return deepest
+
+
+def check_plan_depth(rel: RelationalOp,
+                     limit: int = MAX_PLAN_DEPTH) -> None:
+    depth = tree_depth(rel)
+    if depth > limit:
+        raise PlanError(
+            f"relational tree is nested {depth} levels deep, beyond the "
+            f"supported maximum of {limit}; simplify the query")
 
 
 @dataclass
@@ -38,6 +69,7 @@ def normalize(rel: RelationalOp,
               config: NormalizeConfig | None = None) -> RelationalOp:
     """Run the full normalization pipeline."""
     config = config or NormalizeConfig()
+    check_plan_depth(rel)
     rel = remove_subqueries(rel)
     rel = simplify(rel)
     # Apply removal and outerjoin simplification feed each other: an

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from ... import faultinject
 from ...algebra import (Apply, ColumnRef, Comparison, ConstantScan,
                         Difference, Get, GroupBy, Join, JoinKind, Literal,
                         LocalGroupBy, Max1row, Project, RelationalOp,
@@ -61,6 +62,7 @@ class Implementer:
         self._active: set[int] = set()
 
     def best_plan(self, group_id: int) -> CostedPlan:
+        faultinject.hit("optimizer.implement")
         group = self._memo.group(group_id)
         if group.best is not None:
             return group.best

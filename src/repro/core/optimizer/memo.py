@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from ... import faultinject
 from ...algebra import (Column, RelationalOp, SegmentApply, derive_fds,
                         derive_keys)
 from ...algebra.funcdeps import FDSet
@@ -99,10 +100,13 @@ class Group:
 class Memo:
     """Groups plus structural deduplication."""
 
-    def __init__(self, estimator_factory: Callable[..., Estimator]) -> None:
+    def __init__(self, estimator_factory: Callable[..., Estimator],
+                 governor=None) -> None:
         self.groups: list[Group] = []
         self._expr_to_group: dict[tuple, int] = {}
         self._estimator_factory = estimator_factory
+        #: Optional ResourceGovernor enforcing the memo-group cap.
+        self.governor = governor
         #: Exploration hook: called with (GroupExpr, group_id) for every
         #: expression added anywhere in the memo — including child
         #: expressions materialized while canonicalizing a rule's result.
@@ -126,6 +130,7 @@ class Memo:
         When ``target_group`` is given, the root is added to that group
         (used by transformation rules).
         """
+        faultinject.hit("optimizer.memo")
         canonical = self._canonicalize(rel)
         key = _expr_key(canonical.op, canonical.child_groups)
         existing = self._expr_to_group.get(key)
@@ -193,6 +198,8 @@ class Memo:
         group = Group(len(self.groups), op.output_columns(), estimate,
                       keys, fds, outer)
         self.groups.append(group)
+        if self.governor is not None:
+            self.governor.note_memo_groups(len(self.groups))
         return group
 
 

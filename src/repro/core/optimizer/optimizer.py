@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
+from ... import faultinject
 from ...algebra import RelationalOp
 from ...catalog.statistics import TableStats
 from ...physical.plan import PhysicalOp
@@ -109,10 +110,14 @@ class Optimizer:
     def __init__(self,
                  stats_provider: Callable[[str], Optional[TableStats]],
                  index_provider: Callable[[str], list[tuple[str, ...]]],
-                 config: OptimizerConfig | None = None) -> None:
+                 config: OptimizerConfig | None = None,
+                 governor=None) -> None:
         self.stats_provider = stats_provider
         self.index_provider = index_provider
         self.config = config or OptimizerConfig()
+        #: Optional per-query ResourceGovernor; ticked per exploration
+        #: task and consulted for the memo-group cap and the deadline.
+        self.governor = governor
 
     def optimize(self, rel: RelationalOp) -> PhysicalOp:
         return self.optimize_with_cost(rel).plan
@@ -143,26 +148,41 @@ class Optimizer:
             variants = variants + seeded
         best: Optional[CostedPlan] = None
         for variant in variants:
+            if self.governor is not None:
+                self.governor.check_deadline()
             costed = self._optimize_tree(variant, {})
             if best is None or costed.cost < best.cost:
                 best = costed
         assert best is not None
         return best
 
+    def heuristic_plan(self, rel: RelationalOp) -> PhysicalOp:
+        """A safe plan with no cost-based exploration.
+
+        Implements the normalized tree as-is — no pushed variants, no
+        transformation rules, no budgets — choosing only among the direct
+        physical algorithms for each logical operator.  This is the
+        graceful-degradation target when cost-based optimization fails or
+        blows its budget.
+        """
+        return self._optimize_tree(rel, {}, explore=False).plan
+
     # -- single-tree optimization ----------------------------------------------
 
     def _optimize_tree(self, rel: RelationalOp,
-                       segment_rows: Mapping[frozenset[int], Estimate]
-                       ) -> CostedPlan:
+                       segment_rows: Mapping[frozenset[int], Estimate],
+                       explore: bool = True) -> CostedPlan:
         context = _TreeContext(self, segment_rows)
 
         def estimator_factory(group_lookup=None) -> Estimator:
             return Estimator(self.stats_provider, group_lookup,
                              segment_rows)
 
-        memo = Memo(estimator_factory)
+        memo = Memo(estimator_factory,
+                    governor=self.governor if explore else None)
         root = memo.insert_tree(rel)
-        self._explore(memo)
+        if explore:
+            self._explore(memo)
         implementer = Implementer(memo, context)
         return implementer.best_plan(root)
 
@@ -190,10 +210,14 @@ class Optimizer:
             total += 1
 
         memo.on_new_expr = enqueue
+        governor = self.governor
         try:
             while queue and total <= budget:
+                faultinject.hit("optimizer.explore")
                 expr, group_id = queue.popleft()
                 for rule in rules:
+                    if governor is not None:
+                        governor.tick_optimizer()
                     for binding in self._bindings(memo, expr,
                                                   rule.needs_depth2):
                         for result in rule.apply(binding, memo):

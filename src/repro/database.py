@@ -16,6 +16,7 @@ configurations:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import (Any, Iterable, Iterator, Mapping, Optional, Sequence,
                     Union)
@@ -25,9 +26,12 @@ from .binder import Binder, BoundQuery
 from .catalog import Catalog, ColumnDef, IndexDef, TableDef
 from .core.normalize import NormalizeConfig, normalize
 from .core.optimizer import Optimizer, OptimizerConfig
-from .errors import BindError, ParameterError, ReproError
+from .errors import (BindError, ExecutionError, InjectedFault,
+                     OptimizerBudgetExceeded, ParameterError, PlanError,
+                     ReproError)
 from .executor import NaiveInterpreter
 from .executor.physical import PhysicalExecutor
+from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .physical import PhysicalOp, explain_physical
 from .plancache import CachedPlan, PlanCache, normalize_sql_key
 from .sql import parse
@@ -71,14 +75,26 @@ MODES = {mode.name: mode for mode in (FULL, DECORRELATE_ONLY, CORRELATED,
 
 
 class QueryResult:
-    """Rows plus the output schema (column names and types)."""
+    """Rows plus the output schema (column names and types).
+
+    ``degraded`` is True when the answer came from a fallback plan after
+    a cost-based-optimizer failure (the rows are still correct — only
+    the plan quality degraded); ``stats`` carries per-query execution
+    statistics (:class:`~repro.governor.QueryStats`), including the
+    fallback reason and any governor budget consumption.
+    """
 
     def __init__(self, names: list[str], rows: list[tuple],
-                 types: Sequence[DataType] | None = None) -> None:
+                 types: Sequence[DataType] | None = None,
+                 degraded: bool = False,
+                 stats: QueryStats | None = None) -> None:
         self.names = names
         self.rows = rows
         self.types = (list(types) if types is not None
                       else [DataType.UNKNOWN] * len(names))
+        self.degraded = degraded
+        self.stats = stats if stats is not None else QueryStats(
+            degraded=degraded)
 
     @property
     def columns(self) -> list[tuple[str, DataType]]:
@@ -194,8 +210,16 @@ class PreparedStatement:
         """The cached physical plan (``None`` in naive mode)."""
         return self._database._cached_plan(self.sql, self.mode).plan
 
-    def execute(self, params: Params = None) -> QueryResult:
-        return self._database.execute(self.sql, self.mode, params)
+    def execute(self, params: Params = None, *,
+                timeout: float | None = None,
+                row_budget: int | None = None,
+                memory_budget: int | None = None,
+                optimizer_budget: OptimizerBudget | None = None,
+                governor: ResourceGovernor | None = None) -> QueryResult:
+        return self._database.execute(
+            self.sql, self.mode, params, timeout=timeout,
+            row_budget=row_budget, memory_budget=memory_budget,
+            optimizer_budget=optimizer_budget, governor=governor)
 
     def explain(self, costs: bool = False) -> str:
         return self._database.explain(self.sql, self.mode, costs)
@@ -282,7 +306,12 @@ class Database:
     # -- queries -------------------------------------------------------------------
 
     def execute(self, sql: str, mode: ExecutionMode | str = FULL,
-                params: Params = None) -> QueryResult:
+                params: Params = None, *,
+                timeout: float | None = None,
+                row_budget: int | None = None,
+                memory_budget: int | None = None,
+                optimizer_budget: OptimizerBudget | None = None,
+                governor: ResourceGovernor | None = None) -> QueryResult:
         """Execute ``sql``, binding ``params`` to its parameter markers.
 
         Plans are served from :attr:`plan_cache`: re-executing the same
@@ -290,17 +319,64 @@ class Database:
         bind, normalization and optimization entirely.  ``mode`` accepts
         an :class:`ExecutionMode` or its name (``"full"``, ``"naive"``,
         ...).
+
+        Resource governance: ``timeout`` (wall-clock seconds, covering
+        optimization and execution), ``row_budget`` (rows examined),
+        ``memory_budget`` (rows buffered in flight) and
+        ``optimizer_budget`` build a per-query
+        :class:`~repro.governor.ResourceGovernor`; alternatively pass a
+        pre-built ``governor``.  Timeout and budget violations raise
+        :class:`~repro.errors.QueryTimeout` /
+        :class:`~repro.errors.ResourceExhausted`.  Optimizer failures
+        (budget exhaustion, plan errors, injected faults) never fail the
+        query: execution degrades to a heuristic plan — ultimately to
+        naive interpretation — and the result is flagged via
+        ``QueryResult.degraded`` and ``QueryResult.stats``.
         """
         resolved = self._resolve_mode(mode)
-        entry = self._cached_plan(sql, resolved)
+        gov = governor
+        if gov is None and (timeout is not None or row_budget is not None
+                            or memory_budget is not None
+                            or optimizer_budget is not None):
+            gov = ResourceGovernor(timeout=timeout, row_budget=row_budget,
+                                   memory_budget=memory_budget,
+                                   optimizer_budget=optimizer_budget)
+        started = time.monotonic()
+        if gov is not None:
+            gov.start()
+        entry = self._cached_plan(sql, resolved, gov)
         values = bind_parameters(entry.parameters, params)
-        if resolved.use_naive_interpreter:
-            interpreter = NaiveInterpreter(
-                lambda name: self.storage.get(name).rows)
-            rows = interpreter.run(entry.rel, values)
-        else:
-            rows = self._executor.run_prepared(entry.executable, values)
-        return QueryResult(list(entry.names), rows, entry.types)
+        degraded = entry.degraded
+        reason = entry.fallback_reason
+        try:
+            rows = self._run_entry(entry, values, gov)
+        except InjectedFault as fault:
+            # The physical executor died on an injected infrastructure
+            # fault before any row reached the caller (results are fully
+            # materialized): re-run on the independent naive interpreter.
+            degraded = True
+            reason = f"executor fault: {fault}"
+            rows = self._run_naive(entry.rel, values, gov)
+        stats = QueryStats(elapsed_seconds=time.monotonic() - started,
+                           degraded=degraded, fallback_reason=reason)
+        if gov is not None:
+            gov.fill_stats(stats)
+        return QueryResult(list(entry.names), rows, entry.types,
+                           degraded=degraded, stats=stats)
+
+    def _run_entry(self, entry: CachedPlan, values: tuple,
+                   gov: ResourceGovernor | None) -> list[tuple]:
+        if entry.executable is None:
+            # Naive mode, or a degraded entry whose fallback plan could
+            # not be built: interpret the bound logical tree directly.
+            return self._run_naive(entry.rel, values, gov)
+        return self._executor.run_prepared(entry.executable, values, gov)
+
+    def _run_naive(self, rel: RelationalOp, values: tuple,
+                   gov: ResourceGovernor | None) -> list[tuple]:
+        interpreter = NaiveInterpreter(
+            lambda name: self.storage.get(name).rows, governor=gov)
+        return interpreter.run(rel, values)
 
     def prepare(self, sql: str,
                 mode: ExecutionMode | str = FULL) -> PreparedStatement:
@@ -318,10 +394,22 @@ class Database:
                 f"ExecutionMode or one of: "
                 f"{', '.join(sorted(MODES))}") from None
 
-    def _cached_plan(self, sql: str, mode: ExecutionMode) -> CachedPlan:
-        """The compiled form of ``sql``, from cache or built fresh."""
+    def _cached_plan(self, sql: str, mode: ExecutionMode,
+                     gov: ResourceGovernor | None = None) -> CachedPlan:
+        """The compiled form of ``sql``, from cache or built fresh.
+
+        Fault-tolerant: a failing plan-cache lookup is a cache miss, a
+        failing insertion is skipped, and a cost-based-optimizer failure
+        degrades to a fallback plan (see :meth:`_degraded_plan`).
+        Degraded entries are returned but never admitted to the cache, so
+        one optimizer hiccup cannot pin a bad plan for future queries.
+        """
         sql_key = normalize_sql_key(sql)
-        entry = self.plan_cache.get(sql_key, mode.name, self.catalog.version)
+        try:
+            entry = self.plan_cache.get(sql_key, mode.name,
+                                        self.catalog.version)
+        except InjectedFault:
+            entry = None
         if entry is not None:
             return entry
         bound = self._binder.bind(parse(sql))
@@ -329,12 +417,23 @@ class Database:
             get.table_name.lower()
             for get in collect_nodes(bound.rel,
                                      lambda n: isinstance(n, Get)))
+        degraded = False
+        reason: str | None = None
         if mode.use_naive_interpreter:
             plan = None
             executable = None
         else:
-            plan = self._plan(bound, mode)
-            executable = self._executor.prepare(plan)
+            # Normalization runs outside the fallback ladder: its errors
+            # (e.g. the plan-depth cap) also doom the fallback tiers.
+            normalized = normalize(bound.rel, mode.normalize_config)
+            try:
+                plan = self._optimizer(mode, gov).optimize(normalized)
+                executable = self._executor.prepare(plan)
+            except (PlanError, OptimizerBudgetExceeded, InjectedFault,
+                    ExecutionError) as exc:
+                degraded = True
+                reason = f"{type(exc).__name__}: {exc}"
+                plan, executable = self._degraded_plan(mode, normalized)
         entry = CachedPlan(
             sql_key=sql_key,
             mode_name=mode.name,
@@ -346,9 +445,31 @@ class Database:
             rel=bound.rel,
             executable=executable,
             snapshot=self.plan_cache.capture_snapshot(table_names),
-            table_names=table_names)
-        self.plan_cache.put(entry)
+            table_names=table_names,
+            degraded=degraded,
+            fallback_reason=reason)
+        if not degraded:
+            try:
+                self.plan_cache.put(entry)
+            except InjectedFault:
+                pass  # uncached, but the compiled entry is still good
         return entry
+
+    def _degraded_plan(self, mode: ExecutionMode, normalized: RelationalOp
+                       ) -> tuple[PhysicalOp | None, Any]:
+        """Fallback tiers after a cost-based-optimizer failure.
+
+        First a heuristic plan (the normalized tree implemented with no
+        exploration and no budgets); if even that fails, ``(None, None)``
+        selects naive interpretation of the bound tree — an independent
+        code path that cannot share the optimizer's failure mode.
+        """
+        try:
+            plan = self._optimizer(mode).heuristic_plan(normalized)
+            return plan, self._executor.prepare(plan)
+        except (PlanError, OptimizerBudgetExceeded, InjectedFault,
+                ExecutionError):
+            return None, None
 
     def _row_count(self, table_name: str) -> int:
         try:
@@ -396,9 +517,10 @@ class Database:
         normalized = normalize(bound.rel, mode.normalize_config)
         return self._optimizer(mode).optimize(normalized)
 
-    def _optimizer(self, mode: ExecutionMode) -> Optimizer:
+    def _optimizer(self, mode: ExecutionMode,
+                   gov: ResourceGovernor | None = None) -> Optimizer:
         return Optimizer(self._stats_provider, self._index_provider,
-                         mode.optimizer_config)
+                         mode.optimizer_config, governor=gov)
 
     # -- optimizer services ------------------------------------------------------
 

@@ -38,6 +38,66 @@ class ExecutionError(ReproError):
     """Raised for run-time execution failures."""
 
 
+class ResourceError(ReproError):
+    """Base class for resource-governor limit violations.
+
+    Raised when a query exceeds a limit the caller set on purpose
+    (wall-clock timeout, row budget, memory budget); these are *user*
+    errors, never degraded away by the fallback machinery.
+    """
+
+
+class QueryTimeout(ResourceError):
+    """The query exceeded its wall-clock timeout."""
+
+    def __init__(self, timeout: float, elapsed: float) -> None:
+        super().__init__(
+            f"query exceeded its timeout of {timeout:.3f}s "
+            f"(elapsed {elapsed:.3f}s)")
+        self.timeout = timeout
+        self.elapsed = elapsed
+
+
+class ResourceExhausted(ResourceError):
+    """The query exceeded its row budget or in-flight memory budget."""
+
+    def __init__(self, resource: str, limit: int, used: int) -> None:
+        super().__init__(
+            f"query exceeded its {resource} budget of {limit} "
+            f"(used {used})")
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class OptimizerBudgetExceeded(ResourceError):
+    """Cost-based optimization exceeded its task budget.
+
+    ``Database.execute`` treats this as a signal to fall back to a
+    heuristic plan rather than fail the query; it only reaches callers
+    that drive the :class:`~repro.core.optimizer.Optimizer` directly.
+    """
+
+    def __init__(self, budget: str, limit: int) -> None:
+        super().__init__(
+            f"optimizer exceeded its {budget} budget of {limit}")
+        self.budget = budget
+        self.limit = limit
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault raised by :mod:`repro.faultinject`.
+
+    Only ever raised while a test has explicitly armed an injection
+    point; production code paths treat it like the infrastructure
+    failure it simulates.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site
+
+
 class ParameterError(ReproError):
     """Raised when query-parameter bindings do not match the statement.
 

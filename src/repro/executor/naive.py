@@ -50,9 +50,13 @@ class NaiveInterpreter:
     declaration order (e.g. ``storage.get(name).rows``).
     """
 
-    def __init__(self, table_provider: Callable[[str], Iterable[tuple]]) -> None:
+    def __init__(self, table_provider: Callable[[str], Iterable[tuple]],
+                 governor=None) -> None:
         self._table_provider = table_provider
         self._segments: dict[frozenset[int], list[Row]] = {}
+        #: Optional ResourceGovernor; base-table scans are metered, which
+        #: also covers correlated re-evaluation (each re-open rescans).
+        self._governor = governor
 
     # -- public API --------------------------------------------------------------
 
@@ -64,13 +68,23 @@ class NaiveInterpreter:
         environment under negative keys (``parameter_slot``), disjoint
         from column ids.
         """
+        from .. import faultinject
+        faultinject.hit("executor.naive")
+        governor = self._governor
+        if governor is not None:
+            governor.start()
         env: Row = {}
         if params is not None:
             for i, value in enumerate(params):
                 env[parameter_slot(i)] = value
         columns = rel.output_columns()
-        return [tuple(row[c.cid] for c in columns)
-                for row in self.rows(rel, env)]
+        source = self.rows(rel, env)
+        if governor is not None:
+            source = governor.guard(source)
+        result = [tuple(row[c.cid] for c in columns) for row in source]
+        if governor is not None:
+            governor.check_deadline()
+        return result
 
     # -- relational evaluation ----------------------------------------------------
 
@@ -137,7 +151,10 @@ class NaiveInterpreter:
 
     def _scan(self, rel: Get) -> Iterator[Row]:
         cids = [c.cid for c in rel.columns]
-        for values in self._table_provider(rel.table_name):
+        source = self._table_provider(rel.table_name)
+        if self._governor is not None:
+            source = self._governor.guard_scan(source)
+        for values in source:
             yield dict(zip(cids, values))
 
     def _join(self, rel: Join, env: Row) -> Iterator[Row]:

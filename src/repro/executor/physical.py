@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, Iterator, Optional, Sequence
 
+from .. import faultinject
 from ..algebra.aggregates import descriptor
 from ..algebra.columns import Column
 from ..algebra.relational import JoinKind
@@ -28,13 +29,16 @@ from .naive import _SortValue
 
 
 class ExecutionContext:
-    """Per-run mutable state: correlation parameters and current segments."""
+    """Per-run mutable state: correlation parameters, current segments and
+    the optional per-query resource governor."""
 
-    __slots__ = ("params", "segments")
+    __slots__ = ("params", "segments", "governor")
 
-    def __init__(self) -> None:
+    def __init__(self, governor=None) -> None:
         self.params: dict[int, Any] = {}
         self.segments: dict[frozenset[int], list[tuple]] = {}
+        #: ResourceGovernor | None — checked cooperatively by operators.
+        self.governor = governor
 
 
 class _Executable:
@@ -64,22 +68,33 @@ class PhysicalExecutor:
         self._spill_threshold = aggregate_spill_threshold
 
     def run(self, plan: PhysicalOp,
-            params: Sequence[Any] | None = None) -> list[tuple]:
-        return self.run_prepared(self.prepare(plan), params)
+            params: Sequence[Any] | None = None,
+            governor=None) -> list[tuple]:
+        return self.run_prepared(self.prepare(plan), params, governor)
 
     def run_prepared(self, executable: _Executable,
-                     params: Sequence[Any] | None = None) -> list[tuple]:
+                     params: Sequence[Any] | None = None,
+                     governor=None) -> list[tuple]:
         """Execute a prepared plan, optionally binding query parameters.
 
         ``params`` is a sequence in slot order; slot ``i`` is published to
         expression evaluation under ``parameter_slot(i)`` so one compiled
-        plan can run under many bindings.
+        plan can run under many bindings.  With a ``governor`` the run is
+        metered cooperatively: result rows count against the row budget
+        (catching output explosions above any guarded operator) and the
+        deadline gets a final deterministic check even for empty results.
         """
-        ctx = ExecutionContext()
+        faultinject.hit("executor.open")
+        ctx = ExecutionContext(governor)
         if params is not None:
             for i, value in enumerate(params):
                 ctx.params[parameter_slot(i)] = value
-        return list(executable.rows(ctx))
+        if governor is None:
+            return list(executable.rows(ctx))
+        governor.start()
+        rows = governor.guard_into_list(executable.rows(ctx))
+        governor.check_deadline()
+        return rows
 
     # -- preparation ------------------------------------------------------------
 
@@ -94,7 +109,10 @@ class PhysicalExecutor:
         table = self._storage.get(plan.table_name)
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
-            return iter(table.rows)
+            governor = ctx.governor
+            if governor is None:
+                return iter(table.rows)
+            return governor.guard_scan(table.rows)
         return _Executable(rows)
 
     def _prepare_PIndexSeek(self, plan: PIndexSeek) -> _Executable:
@@ -114,10 +132,14 @@ class PhysicalExecutor:
         empty = ()
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
+            governor = ctx.governor
             values = {p: fn(empty, ctx.params)
                       for p, fn in position_for.items()}
             key = tuple(values[p] for p in index_positions)
-            for position in index.lookup(key):
+            positions = index.lookup(key)
+            if governor is not None and positions:
+                governor.consume_rows(len(positions))
+            for position in positions:
                 row = table.rows[position]
                 if residual is None or residual(row, ctx.params) is True:
                     yield row
@@ -180,43 +202,59 @@ class PhysicalExecutor:
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
             params = ctx.params
+            governor = ctx.governor
             table: dict[tuple, list[tuple]] = {}
+            built = 0      # build-side rows charged to the memory budget
+            pending = 0    # charged in batches to keep the hot loop cheap
             for row in right.rows(ctx):
                 key = tuple(fn(row, params) for fn in right_keys)
                 if any(part is None for part in key):
                     continue
                 table.setdefault(key, []).append(row)
-            for row in left.rows(ctx):
-                key = tuple(fn(row, params) for fn in left_keys)
-                bucket = (table.get(key, ())
-                          if not any(p is None for p in key) else ())
-                if kind is JoinKind.INNER:
-                    for match in bucket:
-                        combined = row + match
-                        if residual is None or \
-                                residual(combined, params) is True:
-                            yield combined
-                elif kind is JoinKind.LEFT_OUTER:
-                    matched = False
-                    for match in bucket:
-                        combined = row + match
-                        if residual is None or \
-                                residual(combined, params) is True:
-                            matched = True
-                            yield combined
-                    if not matched:
-                        yield row + pad
-                elif kind is JoinKind.LEFT_SEMI:
-                    for match in bucket:
-                        if residual is None or \
-                                residual(row + match, params) is True:
+                if governor is not None:
+                    pending += 1
+                    if pending >= 1024:
+                        governor.hold_rows(pending)
+                        built += pending
+                        pending = 0
+            if governor is not None and pending:
+                governor.hold_rows(pending)
+                built += pending
+            try:
+                for row in left.rows(ctx):
+                    key = tuple(fn(row, params) for fn in left_keys)
+                    bucket = (table.get(key, ())
+                              if not any(p is None for p in key) else ())
+                    if kind is JoinKind.INNER:
+                        for match in bucket:
+                            combined = row + match
+                            if residual is None or \
+                                    residual(combined, params) is True:
+                                yield combined
+                    elif kind is JoinKind.LEFT_OUTER:
+                        matched = False
+                        for match in bucket:
+                            combined = row + match
+                            if residual is None or \
+                                    residual(combined, params) is True:
+                                matched = True
+                                yield combined
+                        if not matched:
+                            yield row + pad
+                    elif kind is JoinKind.LEFT_SEMI:
+                        for match in bucket:
+                            if residual is None or \
+                                    residual(row + match, params) is True:
+                                yield row
+                                break
+                    else:  # LEFT_ANTI
+                        if not any(residual is None or
+                                   residual(row + match, params) is True
+                                   for match in bucket):
                             yield row
-                            break
-                else:  # LEFT_ANTI
-                    if not any(residual is None or
-                               residual(row + match, params) is True
-                               for match in bucket):
-                        yield row
+            finally:
+                if governor is not None:
+                    governor.release_rows(built)
         return _Executable(rows)
 
     def _prepare_PNestedLoopsJoin(self, plan: PNestedLoopsJoin) -> _Executable:
@@ -231,10 +269,18 @@ class PhysicalExecutor:
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
             params = ctx.params
-            materialized = list(right.rows(ctx))
-            for row in left.rows(ctx):
-                yield from _loop_join_row(row, materialized, predicate,
-                                          params, kind, pad)
+            governor = ctx.governor
+            if governor is None:
+                materialized = list(right.rows(ctx))
+            else:
+                materialized = governor.hold_into_list(right.rows(ctx))
+            try:
+                for row in left.rows(ctx):
+                    yield from _loop_join_row(row, materialized, predicate,
+                                              params, kind, pad)
+            finally:
+                if governor is not None:
+                    governor.release_rows(len(materialized))
         return _Executable(rows)
 
     def _prepare_PNLApply(self, plan: PNLApply) -> _Executable:
@@ -253,15 +299,30 @@ class PhysicalExecutor:
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
             params = ctx.params
-            for row in left.rows(ctx):
-                if guard is not None and guard(row, params) is not True:
-                    yield row + pad  # §2.4: inner side never evaluated
-                    continue
-                for cid, value in zip(left_cids, row):
-                    params[cid] = value
-                inner = right.rows(ctx)
-                yield from _loop_join_row(row, inner, predicate, params,
-                                          kind, pad)
+            governor = ctx.governor
+            # Cooperative checks per outer row: correlated loops can spin
+            # for a long time without touching a guarded scan.  Charged
+            # in small batches so the per-row cost is an integer add.
+            interval = min(64, governor.check_interval) if governor else 0
+            pending = 0
+            try:
+                for row in left.rows(ctx):
+                    if governor is not None:
+                        pending += 1
+                        if pending >= interval:
+                            governor.consume_rows(pending)
+                            pending = 0
+                    if guard is not None and guard(row, params) is not True:
+                        yield row + pad  # §2.4: inner side never evaluated
+                        continue
+                    for cid, value in zip(left_cids, row):
+                        params[cid] = value
+                    inner = right.rows(ctx)
+                    yield from _loop_join_row(row, inner, predicate, params,
+                                              kind, pad)
+            finally:
+                if pending:
+                    governor.consume_rows(pending)
         return _Executable(rows)
 
     def _prepare_PHashAggregate(self, plan: PHashAggregate) -> _Executable:
@@ -307,31 +368,42 @@ class PhysicalExecutor:
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
             params = ctx.params
+            governor = ctx.governor
+            held = 0
             runs: list[dict[tuple, Any]] = []
             groups: dict[tuple, Any] = {}
-            for row in child.rows(ctx):
-                key = tuple(row[p] for p in group_positions)
-                states = groups.get(key)
-                if states is None:
-                    if spill_threshold is not None and \
-                            len(groups) >= spill_threshold:
-                        runs.append(groups)  # flush partial aggregates
-                        groups = {}
-                    states = folder.initial()
-                    groups[key] = states
-                folder.step(states, row, params)
-            if runs:
-                runs.append(groups)
-                groups = {}
-                for run in runs:
-                    for key, states in run.items():
-                        existing = groups.get(key)
-                        if existing is None:
-                            groups[key] = states
-                        else:
-                            folder.merge_into(existing, states)
-            for key, states in groups.items():
-                yield key + folder.finalize(states)
+            try:
+                for row in child.rows(ctx):
+                    key = tuple(row[p] for p in group_positions)
+                    states = groups.get(key)
+                    if states is None:
+                        if spill_threshold is not None and \
+                                len(groups) >= spill_threshold:
+                            runs.append(groups)  # flush partial aggregates
+                            groups = {}
+                        states = folder.initial()
+                        groups[key] = states
+                        # Memory scales with distinct groups, not input
+                        # rows: charge the budget per group state.
+                        if governor is not None:
+                            governor.hold_rows(1)
+                            held += 1
+                    folder.step(states, row, params)
+                if runs:
+                    runs.append(groups)
+                    groups = {}
+                    for run in runs:
+                        for key, states in run.items():
+                            existing = groups.get(key)
+                            if existing is None:
+                                groups[key] = states
+                            else:
+                                folder.merge_into(existing, states)
+                for key, states in groups.items():
+                    yield key + folder.finalize(states)
+            finally:
+                if governor is not None:
+                    governor.release_rows(held)
         return _Executable(rows)
 
     def _prepare_PScalarAggregate(self, plan: PScalarAggregate) -> _Executable:
@@ -354,11 +426,22 @@ class PhysicalExecutor:
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
             params = ctx.params
+            governor = ctx.governor
 
             def sort_key(row: tuple):
                 return [_SortValue(fn(row, params), asc)
                         for fn, asc in compiled]
-            return iter(sorted(child.rows(ctx), key=sort_key))
+            if governor is None:
+                return iter(sorted(child.rows(ctx), key=sort_key))
+
+            def governed() -> Iterator[tuple]:
+                data = governor.hold_into_list(child.rows(ctx))
+                data.sort(key=sort_key)
+                try:
+                    yield from data
+                finally:
+                    governor.release_rows(len(data))
+            return governed()
         return _Executable(rows)
 
     def _prepare_PTop(self, plan: PTop) -> _Executable:
@@ -459,9 +542,13 @@ class PhysicalExecutor:
         ref_key = frozenset(c.cid for c in plan.inner_columns)
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
+            governor = ctx.governor
             segments: dict[tuple, list[tuple]] = {}
             order: list[tuple] = []
-            for row in left.rows(ctx):
+            held = 0
+            source = (left.rows(ctx) if governor is None
+                      else governor.hold_iter(left.rows(ctx)))
+            for row in source:
                 key = tuple(row[p] for p in seg_positions)
                 bucket = segments.get(key)
                 if bucket is None:
@@ -469,6 +556,7 @@ class PhysicalExecutor:
                     segments[key] = bucket
                     order.append(key)
                 bucket.append(row)
+                held += 1
             previous = ctx.segments.get(ref_key)
             try:
                 for key in order:
@@ -480,6 +568,8 @@ class PhysicalExecutor:
                     ctx.segments.pop(ref_key, None)
                 else:
                     ctx.segments[ref_key] = previous
+                if governor is not None:
+                    governor.release_rows(held)
         return _Executable(rows)
 
 

@@ -1,0 +1,158 @@
+"""Deterministic, test-scoped fault injection.
+
+Production robustness code is only as good as the tests that exercise its
+failure paths.  This module plants named *injection points* in the
+optimizer, plan cache and executors; tests arm them with context managers
+and the instrumented code raises :class:`~repro.errors.InjectedFault` at
+exactly the chosen moment:
+
+    with faultinject.fail_at("optimizer.explore", n=3):
+        result = db.execute(sql)          # third exploration task fails
+    assert result.degraded
+
+When nothing is armed — the production state — a hit costs one global
+read and a ``None`` comparison, so the instrumentation is free on the
+hot path.  Arming is process-global but strictly scoped to the ``with``
+block (context managers compose; each removes only its own trigger).
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from .errors import InjectedFault
+
+#: Every injection point wired into the engine.  ``fail_at`` validates
+#: against this set so a typo cannot silently arm nothing; chaos tests
+#: iterate it so every registered site is actually exercised.
+INJECTION_SITES = frozenset({
+    "optimizer.explore",    # per exploration task in Optimizer._explore
+    "optimizer.memo",       # per tree inserted into a Memo
+    "optimizer.implement",  # per group visited by Implementer.best_plan
+    "plancache.get",        # per plan-cache lookup
+    "plancache.put",        # per plan-cache insertion
+    "executor.open",        # per physical-plan execution start
+    "executor.naive",       # per naive-interpreter run start
+})
+
+
+class _Trigger:
+    """One armed failure: fires on the n-th hit, always, or at a rate."""
+
+    __slots__ = ("site", "countdown", "always", "rate", "rng", "fired")
+
+    def __init__(self, site: str, countdown: Optional[int] = None,
+                 always: bool = False, rate: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        self.site = site
+        self.countdown = countdown
+        self.always = always
+        self.rate = rate
+        self.rng = rng
+        self.fired = 0
+
+    def fires(self) -> bool:
+        if self.always:
+            return True
+        if self.countdown is not None:
+            self.countdown -= 1
+            return self.countdown == 0
+        if self.rng is not None:
+            return self.rng.random() < self.rate
+        return False
+
+
+class _FaultPlan:
+    """The set of currently armed triggers, indexed by site."""
+
+    def __init__(self) -> None:
+        self.triggers: dict[str, list[_Trigger]] = {}
+
+    def arm(self, trigger: _Trigger) -> None:
+        self.triggers.setdefault(trigger.site, []).append(trigger)
+
+    def disarm(self, trigger: _Trigger) -> None:
+        bucket = self.triggers.get(trigger.site, [])
+        if trigger in bucket:
+            bucket.remove(trigger)
+        if not bucket:
+            self.triggers.pop(trigger.site, None)
+
+    def check(self, site: str) -> None:
+        for trigger in self.triggers.get(site, ()):
+            if trigger.fires():
+                trigger.fired += 1
+                raise InjectedFault(site)
+
+    def __bool__(self) -> bool:
+        return bool(self.triggers)
+
+
+_active: Optional[_FaultPlan] = None
+
+
+def hit(site: str) -> None:
+    """Injection point: raises :class:`InjectedFault` when armed.
+
+    Called from instrumented engine code.  With nothing armed this is a
+    module-global read plus an ``is not None`` test.
+    """
+    if _active is not None:
+        _active.check(site)
+
+
+def is_active() -> bool:
+    return _active is not None
+
+
+def _validate(site: str) -> None:
+    if site not in INJECTION_SITES:
+        raise ValueError(
+            f"unknown injection site {site!r}; registered sites: "
+            f"{', '.join(sorted(INJECTION_SITES))}")
+
+
+@contextmanager
+def _armed(triggers: Sequence[_Trigger]) -> Iterator[list[_Trigger]]:
+    global _active
+    if _active is None:
+        _active = _FaultPlan()
+    plan = _active
+    for trigger in triggers:
+        plan.arm(trigger)
+    try:
+        yield list(triggers)
+    finally:
+        for trigger in triggers:
+            plan.disarm(trigger)
+        if _active is plan and not plan:
+            _active = None
+
+
+def fail_at(site: str, n: int = 1) -> "contextmanager":
+    """Arm ``site`` to fail exactly once, on its ``n``-th hit."""
+    _validate(site)
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    return _armed([_Trigger(site, countdown=n)])
+
+
+def fail_always(site: str) -> "contextmanager":
+    """Arm ``site`` to fail on every hit while the context is open."""
+    _validate(site)
+    return _armed([_Trigger(site, always=True)])
+
+
+def fail_randomly(rate: float, seed: int,
+                  sites: Optional[Sequence[str]] = None) -> "contextmanager":
+    """Arm sites to fail at ``rate`` under one seeded RNG (deterministic
+    for a given seed and hit order).  Defaults to every registered site."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1]")
+    chosen = sorted(sites) if sites is not None else sorted(INJECTION_SITES)
+    for site in chosen:
+        _validate(site)
+    rng = random.Random(seed)
+    return _armed([_Trigger(site, rate=rate, rng=rng) for site in chosen])

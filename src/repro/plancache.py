@@ -27,6 +27,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
 
+from . import faultinject
+from .errors import SqlSyntaxError
 from .sql.lexer import TokenType, tokenize
 from .stats_version import (DEFAULT_DRIFT_THRESHOLD, StatsSnapshot, capture,
                             drifted)
@@ -38,11 +40,13 @@ def normalize_sql_key(sql: str) -> Hashable:
     Built from the token stream, so ``SELECT  1`` and ``select 1`` share an
     entry while ``select 1`` and ``select 2`` do not.  Unlexable text gets
     the raw string as its key: the subsequent parse will raise the real
-    syntax error, and caching never masks it.
+    syntax error, and caching never masks it.  Only genuine syntax errors
+    are absorbed — a lexer *bug* (any non-:class:`SqlSyntaxError`)
+    propagates instead of being silently cached under the raw string.
     """
     try:
         tokens = tokenize(sql)
-    except Exception:
+    except SqlSyntaxError:
         return sql
     return tuple((t.type.value, t.value) for t in tokens
                  if t.type is not TokenType.EOF)
@@ -63,6 +67,11 @@ class CachedPlan:
     executable: Any
     snapshot: StatsSnapshot
     table_names: frozenset[str] = field(default_factory=frozenset)
+    #: True when the entry came out of the graceful-degradation ladder
+    #: (heuristic plan or naive interpretation).  Degraded entries are
+    #: returned to the caller but never admitted into the cache.
+    degraded: bool = False
+    fallback_reason: str | None = None
 
     @property
     def key(self) -> tuple:
@@ -112,6 +121,7 @@ class PlanCache:
     def get(self, sql_key: Hashable, mode_name: str,
             catalog_version: int) -> CachedPlan | None:
         """Look up a cached plan, applying LRU touch and staleness check."""
+        faultinject.hit("plancache.get")
         key = (sql_key, mode_name, catalog_version)
         entry = self._entries.get(key)
         if entry is None:
@@ -127,6 +137,7 @@ class PlanCache:
         return entry
 
     def put(self, entry: CachedPlan) -> None:
+        faultinject.hit("plancache.put")
         key = entry.key
         if key in self._entries:
             self._entries.move_to_end(key)

@@ -31,6 +31,13 @@ from .lexer import Token, TokenType, tokenize
 _AGGREGATE_NAMES = ("count", "sum", "avg", "min", "max")
 _COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
 
+#: Maximum combined nesting depth of subqueries and parenthesized
+#: expressions.  The recursive-descent parser burns ~9 Python frames per
+#: level, so an explicit cap well below the interpreter's recursion limit
+#: turns a pathological 1000-level input into a clear ``SqlSyntaxError``
+#: instead of a raw ``RecursionError`` somewhere mid-pipeline.
+MAX_NESTING_DEPTH = 64
+
 
 def parse(sql: str) -> Query:
     """Parse one SQL query (SELECT or UNION ALL chain)."""
@@ -44,9 +51,20 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._position = 0
+        # Combined subquery/expression nesting depth (see MAX_NESTING_DEPTH).
+        self._depth = 0
         # Parameter slot assignment is statement-wide (subqueries included).
         self._positional_params = 0
         self._named_params: dict[str, int] = {}
+
+    def _enter_nesting(self) -> None:
+        self._depth += 1
+        if self._depth > MAX_NESTING_DEPTH:
+            token = self.current
+            raise SqlSyntaxError(
+                f"query nesting exceeds the maximum depth of "
+                f"{MAX_NESTING_DEPTH} (subqueries and parenthesized "
+                f"expressions combined)", token.line, token.column)
 
     # -- token plumbing ---------------------------------------------------------
 
@@ -125,6 +143,13 @@ class _Parser:
         return self.parse_select()
 
     def parse_select(self) -> SelectStatement:
+        self._enter_nesting()
+        try:
+            return self._parse_select_body()
+        finally:
+            self._depth -= 1
+
+    def _parse_select_body(self) -> SelectStatement:
         self.expect_keyword("select")
         distinct = self.accept_keyword("distinct")
         self.accept_keyword("all")
@@ -295,7 +320,11 @@ class _Parser:
     # -- expressions -----------------------------------------------------------
 
     def parse_expr(self) -> Expr:
-        return self._parse_or()
+        self._enter_nesting()
+        try:
+            return self._parse_or()
+        finally:
+            self._depth -= 1
 
     def _parse_or(self) -> Expr:
         left = self._parse_and()
@@ -313,7 +342,11 @@ class _Parser:
 
     def _parse_not(self) -> Expr:
         if self.accept_keyword("not"):
-            return UnaryOp("not", self._parse_not())
+            self._enter_nesting()  # NOT chains recurse too
+            try:
+                return UnaryOp("not", self._parse_not())
+            finally:
+                self._depth -= 1
         return self._parse_predicate()
 
     def _parse_predicate(self) -> Expr:
@@ -398,8 +431,14 @@ class _Parser:
 
     def _parse_unary(self) -> Expr:
         if self.accept_operator("-"):
-            return UnaryOp("-", self._parse_unary())
+            self._enter_nesting()  # sign chains recurse too
+            try:
+                return UnaryOp("-", self._parse_unary())
+            finally:
+                self._depth -= 1
         if self.accept_operator("+"):
+            while self.accept_operator("+"):  # unary plus is a no-op
+                pass
             return self._parse_unary()
         return self._parse_primary()
 

@@ -1,0 +1,183 @@
+"""Chaos tests: deterministic fault injection at every registered site.
+
+For each site the contract is differential — the query must either
+return exactly the rows the naive interpreter produces (possibly
+flagged ``degraded``) or raise a governor/``ReproError`` error; it must
+never silently return wrong rows.  Degraded plans must never enter the
+plan cache.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro import (FULL, Database, DataType, InjectedFault, NAIVE,
+                   ReproError)
+from repro.faultinject import (INJECTION_SITES, fail_always, fail_at,
+                               fail_randomly, is_active)
+
+QUERIES = [
+    "select a from t where b > 3 order by a",
+    "select b, count(*) from t group by b order by b",
+    ("select a from t where exists "
+     "(select * from u where ua = b) order by a"),
+    ("select a, (select count(*) from u where ua = b) from t "
+     "where a < 40 order by a"),
+]
+
+#: Sites whose failure is survivable — execute() degrades or shrugs and
+#: still returns correct rows.  ``executor.naive`` is the last rung of
+#: the ladder, so a fault there is allowed to surface as an error.
+RECOVERABLE_SITES = sorted(INJECTION_SITES - {"executor.naive"})
+
+#: Sites where recovery must mark the result degraded (the cost-based
+#: plan was abandoned).  Plan-cache faults are absorbed silently.
+DEGRADING_SITES = {"optimizer.explore", "optimizer.memo",
+                   "optimizer.implement", "executor.open"}
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", DataType.INTEGER, False),
+                                ("b", DataType.INTEGER, False)],
+                          primary_key=("a",))
+    database.create_table("u", [("uk", DataType.INTEGER, False),
+                                ("ua", DataType.INTEGER, False)],
+                          primary_key=("uk",))
+    database.insert("t", [(i, i % 7) for i in range(80)])
+    database.insert("u", [(i, i % 11) for i in range(60)])
+    return database
+
+
+def reference_rows(db, sql):
+    """Naive-interpreter reference, computed before any fault is armed."""
+    return Counter(db.execute(sql, NAIVE).rows)
+
+
+class TestSiteRegistry:
+    def test_expected_sites_registered(self):
+        assert INJECTION_SITES == {
+            "optimizer.explore", "optimizer.memo", "optimizer.implement",
+            "plancache.get", "plancache.put", "executor.open",
+            "executor.naive"}
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            fail_at("no.such.site")
+
+    def test_inactive_by_default(self):
+        assert not is_active()
+
+
+class TestSingleFaultRecovery:
+    @pytest.mark.parametrize("site", RECOVERABLE_SITES)
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_one_shot_fault_recovers_with_correct_rows(self, db, site,
+                                                       sql):
+        expected = reference_rows(db, sql)
+        db.plan_cache.invalidate()
+        with fail_at(site, n=1) as (trigger,):
+            result = db.execute(sql, FULL)
+        assert not is_active()
+        assert Counter(result.rows) == expected
+        if trigger.fired and site in DEGRADING_SITES:
+            assert result.degraded
+            assert result.stats.fallback_reason
+        if site.startswith("plancache."):
+            assert not result.degraded  # cache faults are invisible
+
+    @pytest.mark.parametrize("site", ["optimizer.explore",
+                                      "optimizer.memo",
+                                      "optimizer.implement"])
+    def test_persistent_optimizer_fault_falls_to_naive_tier(self, db,
+                                                            site):
+        sql = QUERIES[1]
+        expected = reference_rows(db, sql)
+        db.plan_cache.invalidate()
+        with fail_always(site):
+            # Both the cost-based and the heuristic tier keep faulting,
+            # so execution lands on the naive interpreter — still right.
+            result = db.execute(sql, FULL)
+        assert result.degraded
+        assert Counter(result.rows) == expected
+
+    def test_naive_tier_fault_surfaces(self, db):
+        with fail_always("executor.naive"):
+            with pytest.raises(InjectedFault):
+                db.execute(QUERIES[0], NAIVE)
+
+    def test_execution_fault_reruns_naively(self, db):
+        sql = QUERIES[2]
+        expected = reference_rows(db, sql)
+        with fail_at("executor.open", n=1) as (trigger,):
+            result = db.execute(sql, FULL)
+        assert trigger.fired
+        assert result.degraded
+        assert "fault" in result.stats.fallback_reason
+        assert Counter(result.rows) == expected
+
+
+class TestCacheHygiene:
+    @pytest.mark.parametrize("site", ["optimizer.explore",
+                                      "optimizer.memo",
+                                      "optimizer.implement"])
+    def test_degraded_plans_never_cached(self, db, site):
+        sql = QUERIES[3]
+        db.plan_cache.invalidate()
+        with fail_always(site):
+            result = db.execute(sql, FULL)
+        assert result.degraded
+        assert len(db.plan_cache) == 0
+        # The next clean run optimizes from scratch and does cache.
+        clean = db.execute(sql, FULL)
+        assert not clean.degraded
+        assert len(db.plan_cache) == 1
+
+    def test_execution_fault_keeps_the_healthy_plan_cached(self, db):
+        # executor.open strikes after optimization succeeded: the result
+        # degrades (naive rerun) but the cached plan is the good one.
+        sql = QUERIES[3]
+        db.plan_cache.invalidate()
+        with fail_at("executor.open", n=1):
+            result = db.execute(sql, FULL)
+        assert result.degraded
+        assert len(db.plan_cache) == 1
+        clean = db.execute(sql, FULL)  # served from cache, healthy
+        assert not clean.degraded
+
+    def test_cache_put_fault_skips_admission(self, db):
+        sql = QUERIES[0]
+        db.plan_cache.invalidate()
+        with fail_at("plancache.put", n=1):
+            result = db.execute(sql, FULL)
+        assert not result.degraded
+        assert len(db.plan_cache) == 0
+
+    def test_cache_get_fault_is_a_miss(self, db):
+        sql = QUERIES[0]
+        expected = reference_rows(db, sql)
+        db.execute(sql, FULL)  # populate the cache
+        with fail_at("plancache.get", n=1):
+            result = db.execute(sql, FULL)
+        assert Counter(result.rows) == expected
+
+
+class TestRandomChaos:
+    RATE = 0.05
+    SEEDS = range(8 if os.environ.get("REPRO_CHAOS") else 3)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_faults_never_corrupt_results(self, db, seed):
+        with fail_randomly(self.RATE, seed=seed):
+            for sql in QUERIES:
+                expected = None
+                try:
+                    expected = reference_rows(db, sql)
+                    result = db.execute(sql, FULL)
+                except ReproError:
+                    continue  # an error is acceptable; wrong rows are not
+                if expected is not None:
+                    assert Counter(result.rows) == expected
+        assert not is_active()
