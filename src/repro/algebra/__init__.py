@@ -13,7 +13,7 @@ from .columns import Column, ColumnSet
 from .datatypes import (DataType, Interval, sql_and, sql_compare, sql_not,
                         sql_or)
 from .funcdeps import FDSet
-from .printer import explain, plan_signature
+from .printer import explain, plan_fingerprint, plan_signature
 from .properties import (derive_fds, derive_keys, functionally_determines,
                          has_key, key_within, max_one_row, never_empty,
                          null_rejected_columns, strict_columns)
@@ -45,7 +45,8 @@ __all__ = [
     "column_equalities", "conjunction", "conjuncts", "derive_fds",
     "derive_keys", "descriptor", "equals", "explain",
     "functionally_determines", "has_key", "key_within", "max_one_row",
-    "never_empty", "null_rejected_columns", "plan_signature",
+    "never_empty", "null_rejected_columns", "plan_fingerprint",
+    "plan_signature",
     "sql_and", "sql_compare", "sql_not", "sql_or", "strict_columns",
     "substitute_outer_columns", "transform_bottom_up",
 ]

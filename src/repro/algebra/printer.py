@@ -12,6 +12,7 @@ identity compare equal — the basis of the syntax-independence tests
 
 from __future__ import annotations
 
+import hashlib
 import re
 from typing import TYPE_CHECKING
 
@@ -53,9 +54,14 @@ def plan_signature(rel: "RelationalOp") -> str:
 
     Two structurally identical plans over distinct column identities (for
     example, the optimized plans of two equivalent SQL formulations) yield
-    the same signature.
+    the same signature.  Physical plans are accepted as well: they print
+    themselves (via ``explain_physical``), and their column ids are
+    normalized the same way.
     """
-    text = explain(rel)
+    if hasattr(rel, "local_expressions"):
+        text = explain(rel)
+    else:
+        text = repr(rel)
     mapping: dict[str, str] = {}
 
     def normalize(match: re.Match) -> str:
@@ -65,3 +71,15 @@ def plan_signature(rel: "RelationalOp") -> str:
         return "#" + mapping[cid]
 
     return _CID_PATTERN.sub(normalize, text)
+
+
+def plan_fingerprint(rel: "RelationalOp") -> str:
+    """A short, stable hash of the printed tree.
+
+    Computed over :func:`plan_signature`, so the fingerprint is
+    independent of the process-global column-id counter: the same query
+    compiled in two processes (or twice in one) fingerprints identically.
+    Used by the analyzer's blame reports and by golden-plan tests.
+    """
+    signature = plan_signature(rel)
+    return hashlib.sha256(signature.encode("utf-8")).hexdigest()[:12]

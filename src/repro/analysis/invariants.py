@@ -1,0 +1,219 @@
+"""Well-formedness invariants for logical operator trees.
+
+:func:`verify_logical` walks a tree and checks, without executing
+anything, the structural invariants every valid tree must satisfy at
+every intermediate point of the paper's rewrite pipeline:
+
+* **column-reference integrity** — every column an operator reads (in a
+  predicate, projection item, aggregate argument, grouping slot or
+  union/difference map) is produced by exactly one visible child, or is
+  a correlation parameter bound by an enclosing Apply (the ``env``);
+* **schema consistency** — output schemas are duplicate-free, and join
+  inputs have disjoint column identities (so "exactly one visible
+  child" is decidable);
+* **column freshness** — columns introduced by a node never collide
+  with columns flowing up from below (no shadowing);
+* **correlation scoping** — Join inputs are uncorrelated (free columns
+  beyond ``env`` are flagged), Apply parameters are visible only inside
+  the parameterized subtree, SegmentApply inner trees reach the segment
+  exclusively through a correctly-bound :class:`SegmentRef`;
+* **derived-property consistency** — every key reported by
+  ``derive_keys`` only mentions output columns, and the cardinality
+  derivation agrees with the one-row operators.
+
+The checks are purely local-plus-environment, so the walk is a single
+pass; ``env`` is the set of column ids bound by enclosing operators
+(empty for a full query — which makes the walk also the "no free
+correlation variables survive" check the normalizer must satisfy).
+"""
+
+from __future__ import annotations
+
+from ..algebra.properties import derive_keys, max_one_row
+from ..algebra.relational import (Apply, Difference, Join, Max1row,
+                                  RelationalOp, ScalarGroupBy, SegmentApply,
+                                  SegmentRef, UnionAll)
+from .issues import AnalysisIssue
+
+#: Allowed SegmentRef bindings: a stack of exact column-id tuples.
+SegmentBindings = tuple[tuple[int, ...], ...]
+
+
+def verify_logical(rel: RelationalOp,
+                   env: frozenset[int] = frozenset(), *,
+                   allow_subqueries: bool = False,
+                   segment_bindings: SegmentBindings = (),
+                   ) -> list[AnalysisIssue]:
+    """All invariant violations in ``rel``, given outer bindings ``env``.
+
+    ``allow_subqueries`` admits relational subtrees embedded in scalar
+    expressions (the binder's pre-normalization form) and verifies them
+    recursively; when False their mere presence is a violation (the
+    normalizer promises to remove them all).  ``segment_bindings`` seeds
+    the SegmentRef scope stack, for verifying fragments cut out of a
+    SegmentApply inner tree (the optimizer optimizes those separately).
+    """
+    issues: list[AnalysisIssue] = []
+    _walk(rel, env, (), segment_bindings, allow_subqueries, issues)
+    return issues
+
+
+def _ids(columns) -> list[int]:
+    return [c.cid for c in columns]
+
+
+def _name(columns, cid: int) -> str:
+    for c in columns:
+        if c.cid == cid:
+            return repr(c)
+    return f"#{cid}"
+
+
+def _walk(rel: RelationalOp, env: frozenset[int], path: tuple[int, ...],
+          segments: SegmentBindings, allow_subqueries: bool,
+          issues: list[AnalysisIssue]) -> None:
+    label = rel.label()
+
+    def report(code: str, message: str) -> None:
+        issues.append(AnalysisIssue(code, message, node=label, path=path))
+
+    children = rel.children
+    child_outputs = [child.output_columns() for child in children]
+    visible = set(env)
+    seen_in_children: set[int] = set()
+    for cols in child_outputs:
+        for cid in _ids(cols):
+            visible.add(cid)
+            seen_in_children.add(cid)
+
+    # -- schema consistency ------------------------------------------------
+    output = rel.output_columns()
+    out_ids = _ids(output)
+    duplicates = {cid for cid in out_ids if out_ids.count(cid) > 1}
+    for cid in sorted(duplicates):
+        report("schema.duplicate",
+               f"output column {_name(output, cid)} appears "
+               f"{out_ids.count(cid)} times in the output schema")
+
+    # -- column-reference integrity ----------------------------------------
+    for expr in rel.local_expressions():
+        for cid in sorted(expr.free_columns().ids()):
+            if cid not in visible:
+                report("columns.unresolved",
+                       f"expression {expr.sql()} references column #{cid},"
+                       f" which no visible input produces")
+        if expr.contains_subquery():
+            if allow_subqueries:
+                for sub in _scalar_relational_children(expr):
+                    _walk(sub, frozenset(visible), path, segments,
+                          allow_subqueries, issues)
+            else:
+                report("subquery.residual",
+                       f"expression {expr.sql()} still embeds a relational"
+                       f" subquery after normalization claimed to finish")
+    slot_env = visible
+    if isinstance(rel, (UnionAll, Difference)):
+        # Positional maps must draw from their *own* input (or the env).
+        if isinstance(rel, UnionAll):
+            named_maps = [(f"input {i}", imap, child_outputs[i])
+                          for i, imap in enumerate(rel.input_maps)]
+        else:
+            named_maps = [("left", rel.left_map, child_outputs[0]),
+                          ("right", rel.right_map, child_outputs[1])]
+        for which, imap, cols in named_maps:
+            allowed = set(_ids(cols)) | env
+            for cid in _ids(imap):
+                if cid not in allowed:
+                    report("columns.unresolved",
+                           f"{which} map references column #{cid}, which "
+                           f"that input does not produce")
+    else:
+        for cid in _ids(rel.local_column_slots()):
+            if cid not in slot_env:
+                report("columns.unresolved",
+                       f"column slot #{cid} is not produced by any "
+                       f"visible input")
+
+    # -- column freshness --------------------------------------------------
+    produced = rel.produced_columns()
+    if children:
+        for cid in _ids(produced):
+            if cid in seen_in_children:
+                report("columns.shadowed",
+                       f"column {_name(produced, cid)} is introduced here "
+                       f"but already produced by a child")
+            elif cid in env:
+                report("columns.shadowed",
+                       f"column {_name(produced, cid)} is introduced here "
+                       f"but already bound by an enclosing operator")
+
+    # -- operator-specific scoping -----------------------------------------
+    child_envs = [env] * len(children)
+    child_segments = [segments] * len(children)
+    if isinstance(rel, (Join, Apply)):
+        left_ids = set(_ids(child_outputs[0]))
+        right_ids = set(_ids(child_outputs[1]))
+        overlap = left_ids & right_ids
+        for cid in sorted(overlap):
+            report("schema.ambiguous",
+                   f"column #{cid} is produced by both join inputs")
+        if isinstance(rel, Join):
+            for index, child in enumerate(children):
+                free = child.outer_references().ids() - env
+                if free:
+                    names = ", ".join(f"#{cid}" for cid in sorted(free))
+                    report("scope.correlated-join-input",
+                           f"{('left', 'right')[index]} input of an "
+                           f"uncorrelated join has free columns {names}")
+        else:
+            # Apply: parameters are the left columns, visible only on
+            # the right; anything else free on the right is an escape.
+            child_envs = [env, env | left_ids]
+    elif isinstance(rel, SegmentApply):
+        left_ids = set(_ids(child_outputs[0]))
+        seg_ids = _ids(rel.segment_columns)
+        for cid in seg_ids:
+            if cid not in left_ids:
+                report("segment.bad-segment-column",
+                       f"segment column #{cid} is not produced by the "
+                       f"segmented input")
+        right_ids = set(_ids(child_outputs[1]))
+        for cid in sorted(left_ids & right_ids):
+            report("schema.ambiguous",
+                   f"column #{cid} is produced by both the segmented "
+                   f"input and the inner tree")
+        # The inner tree sees the segment only through its SegmentRef
+        # mirror columns — never the outer columns themselves.
+        child_envs = [env, env]
+        binding = tuple(c.cid for c in rel.inner_columns)
+        child_segments = [segments, segments + (binding,)]
+    elif isinstance(rel, SegmentRef):
+        binding = tuple(c.cid for c in rel.columns)
+        if binding not in segments:
+            report("segment.unbound-ref",
+                   "SegmentRef is not bound by any enclosing SegmentApply"
+                   " (or its columns do not match the binding)")
+    # -- derived-property consistency --------------------------------------
+    out_id_set = set(out_ids)
+    for key in derive_keys(rel):
+        stray = key - out_id_set
+        if stray:
+            names = ", ".join(f"#{cid}" for cid in sorted(stray))
+            report("cardinality.key-scope",
+                   f"derived key mentions columns {names} outside the "
+                   f"output schema")
+    if isinstance(rel, (Max1row, ScalarGroupBy)) and not max_one_row(rel):
+        report("cardinality.max1row",
+               "cardinality derivation denies the operator's own "
+               "at-most-one-row guarantee")
+
+    for index, child in enumerate(children):
+        _walk(child, child_envs[index], path + (index,),
+              child_segments[index], allow_subqueries, issues)
+
+
+def _scalar_relational_children(expr) -> list[RelationalOp]:
+    found = list(expr.relational_children)
+    for child in expr.children:
+        found.extend(_scalar_relational_children(child))
+    return found

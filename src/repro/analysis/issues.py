@@ -1,0 +1,35 @@
+"""Issue records produced by the static plan analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AnalysisIssue:
+    """One invariant violation found in an operator tree.
+
+    ``code`` is a stable dotted identifier (``columns.unresolved``,
+    ``schema.duplicate``, ...) suitable for filtering and for tests;
+    ``node`` is the offending operator's display label and ``path`` the
+    child-index route from the root to it (so the issue can be located in
+    an ``explain`` rendering without holding a reference to the tree).
+    """
+
+    code: str
+    message: str
+    node: str = ""
+    path: tuple[int, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        location = f" at {self.node}" if self.node else ""
+        route = "/".join(str(i) for i in self.path)
+        route = f" (path {route})" if route else ""
+        return f"[{self.code}]{location}{route}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_issues(issues: list[AnalysisIssue]) -> str:
+    return "\n".join(issue.render() for issue in issues)

@@ -68,10 +68,17 @@ class NormalizeConfig:
 def normalize(rel: RelationalOp,
               config: NormalizeConfig | None = None) -> RelationalOp:
     """Run the full normalization pipeline."""
+    from ...analysis import PlanAnalyzer
+
     config = config or NormalizeConfig()
+    analyzer = PlanAnalyzer.for_normalization()
     check_plan_depth(rel)
     rel = remove_subqueries(rel)
     rel = simplify(rel)
+    if analyzer is not None:
+        # remove_subqueries leaves no scalar-embedded subtrees in any
+        # configuration, so from here on their presence is a violation.
+        analyzer.check_logical(rel, stage="normalize:remove_subqueries")
     # Apply removal and outerjoin simplification feed each other: an
     # Apply[LOJ] stuck at a UnionAll becomes removable once a null-rejecting
     # predicate turns it into Apply[inner].  Iterate to fixpoint.
@@ -83,9 +90,17 @@ def normalize(rel: RelationalOp,
                 rel,
                 ApplyRemovalConfig(class2_rewrites=config.class2_rewrites))
             rel = simplify(rel)
+            if analyzer is not None:
+                analyzer.check_logical(rel,
+                                       stage="normalize:remove_applies")
         if config.simplify_outerjoins:
-            rel = simplify_outerjoins(rel)
-            rel = simplify(rel)
+            simplified = simplify_outerjoins(rel)
+            if analyzer is not None:
+                analyzer.check_oj_simplification(rel, simplified)
+            rel = simplify(simplified)
+            if analyzer is not None:
+                analyzer.check_logical(
+                    rel, stage="normalize:simplify_outerjoins")
         if explain(rel) == before:
             break
     return rel

@@ -16,6 +16,7 @@ from typing import Callable, Mapping, Optional
 
 from ... import faultinject
 from ...algebra import RelationalOp
+from ...analysis import PlanAnalyzer
 from ...catalog.statistics import TableStats
 from ...physical.plan import PhysicalOp
 from .cardinality import Estimate, Estimator
@@ -211,6 +212,7 @@ class Optimizer:
 
         memo.on_new_expr = enqueue
         governor = self.governor
+        analyzer = PlanAnalyzer.for_rules()
         try:
             while queue and total <= budget:
                 faultinject.hit("optimizer.explore")
@@ -221,6 +223,9 @@ class Optimizer:
                     for binding in self._bindings(memo, expr,
                                                   rule.needs_depth2):
                         for result in rule.apply(binding, memo):
+                            if analyzer is not None:
+                                analyzer.check_rule_application(
+                                    rule.name, binding, result)
                             memo.add_expr_to_group(result, group_id)
         finally:
             memo.on_new_expr = None

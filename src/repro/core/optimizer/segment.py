@@ -217,13 +217,23 @@ def _build_segment_apply(outer: RelationalOp, anchor: RelationalOp,
     core_to_inner = {}
     for core_cid, anchor_col in mapping.items():
         core_to_inner[core_cid] = ColumnRef(outer_to_inner[anchor_col.cid])
+    grouped_mirrors = [_as_column(core_to_inner[c.cid])
+                       for c in groupby.group_columns]
     agg_over_segment: RelationalOp = GroupBy(
         SegmentRef(inner_columns),
-        [ _as_column(core_to_inner[c.cid]) for c in groupby.group_columns],
+        grouped_mirrors,
         [(col, _remap_call(call, core_to_inner))
          for col, call in groupby.aggregates])
-    group_rename = {gc.cid: _as_column(core_to_inner[gc.cid])
-                    for gc in groupby.group_columns}
+    # The grouping outputs get fresh identities: the left SegmentRef of
+    # the inner join already delivers the mirrors, and a join must not
+    # receive the same column from both inputs.
+    fresh_groups = [c.fresh_copy() for c in grouped_mirrors]
+    rename_items = [(fresh, ColumnRef(mirror)) for fresh, mirror
+                    in zip(fresh_groups, grouped_mirrors)]
+    rename_items += [(col, ColumnRef(col)) for col, _ in groupby.aggregates]
+    agg_over_segment = Project(agg_over_segment, rename_items)
+    group_rename = {gc.cid: fresh for gc, fresh
+                    in zip(groupby.group_columns, fresh_groups)}
     for wrapper in reversed(wrappers):
         if isinstance(wrapper, Select):
             pred = wrapper.predicate.substitute_columns(
@@ -236,8 +246,12 @@ def _build_segment_apply(outer: RelationalOp, anchor: RelationalOp,
             agg_over_segment = Project(agg_over_segment, items)
 
     # The join inside the segment: segment rows vs their aggregate.
+    # Residual conjuncts may reference outer columns (→ their mirrors)
+    # or the branch's grouping columns (→ their fresh renames).
     rename_for_pred = {c.cid: ColumnRef(outer_to_inner[c.cid])
                        for c in outer.output_columns()}
+    for gc_cid, fresh in group_rename.items():
+        rename_for_pred[gc_cid] = ColumnRef(fresh)
     inner_parts = []
     for part in residual:
         inner_parts.append(part.substitute_columns(rename_for_pred))
@@ -252,10 +266,15 @@ def _build_segment_apply(outer: RelationalOp, anchor: RelationalOp,
     segment_apply = SegmentApply(outer, inner_join, segment_cols,
                                  inner_columns)
 
-    # Restore the original join's output columns.
+    # Restore the original join's output columns.  Segment columns are
+    # delivered by the SegmentApply itself, so they stay identity items
+    # (re-deriving them from the mirrors would shadow the child's output).
+    segment_ids = {c.cid for c in segment_cols}
     items = []
     for column in join.output_columns():
-        if column.cid in outer_to_inner:
+        if column.cid in segment_ids:
+            items.append((column, ColumnRef(column)))
+        elif column.cid in outer_to_inner:
             items.append((column, ColumnRef(outer_to_inner[column.cid])))
         elif column.cid in group_rename:
             items.append((column, ColumnRef(group_rename[column.cid])))

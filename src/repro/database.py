@@ -22,6 +22,7 @@ from typing import (Any, Iterable, Iterator, Mapping, Optional, Sequence,
                     Union)
 
 from .algebra import DataType, Get, RelationalOp, collect_nodes, explain
+from .analysis import PlanAnalyzer
 from .binder import Binder, BoundQuery
 from .catalog import Catalog, ColumnDef, IndexDef, TableDef
 from .core.normalize import NormalizeConfig, normalize
@@ -237,7 +238,8 @@ class Database:
         self._binder = Binder(self.catalog)
         self._executor = PhysicalExecutor(self.storage)
         self.plan_cache = PlanCache(plan_cache_capacity,
-                                    row_count_of=self._row_count)
+                                    row_count_of=self._row_count,
+                                    validator=self._plan_admissible)
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -426,9 +428,16 @@ class Database:
             # Normalization runs outside the fallback ladder: its errors
             # (e.g. the plan-depth cap) also doom the fallback tiers.
             normalized = normalize(bound.rel, mode.normalize_config)
+            analyzer = PlanAnalyzer.for_admission(self._index_provider)
             try:
+                if analyzer is not None:
+                    analyzer.check_logical(normalized,
+                                           stage="admission:logical")
                 plan = self._optimizer(mode, gov).optimize(normalized)
                 executable = self._executor.prepare(plan)
+                if analyzer is not None:
+                    analyzer.check_physical(plan,
+                                            stage="admission:physical")
             except (PlanError, OptimizerBudgetExceeded, InjectedFault,
                     ExecutionError) as exc:
                 degraded = True
@@ -462,11 +471,17 @@ class Database:
         First a heuristic plan (the normalized tree implemented with no
         exploration and no budgets); if even that fails, ``(None, None)``
         selects naive interpretation of the bound tree — an independent
-        code path that cannot share the optimizer's failure mode.
+        code path that cannot share the optimizer's failure mode.  Each
+        tier is statically verified before being accepted, so a fallback
+        never smuggles in a plan the primary tier would have rejected.
         """
+        analyzer = PlanAnalyzer.for_admission(self._index_provider)
         try:
             plan = self._optimizer(mode).heuristic_plan(normalized)
-            return plan, self._executor.prepare(plan)
+            executable = self._executor.prepare(plan)
+            if analyzer is not None:
+                analyzer.check_physical(plan, stage="fallback:heuristic")
+            return plan, executable
         except (PlanError, OptimizerBudgetExceeded, InjectedFault,
                 ExecutionError):
             return None, None
@@ -476,6 +491,15 @@ class Database:
             return len(self.storage.get(table_name).rows)
         except ReproError:
             return 0
+
+    def _plan_admissible(self, entry: CachedPlan) -> bool:
+        """Plan-cache admission gate: entries that fail static
+        verification are refused (never cached), independently of the
+        louder per-stage checks in :meth:`_cached_plan`."""
+        analyzer = PlanAnalyzer.for_admission(self._index_provider)
+        if analyzer is None:
+            return True
+        return analyzer.admissible(entry.rel, entry.plan)
 
     def explain(self, sql: str, mode: ExecutionMode | str = FULL,
                 costs: bool = False) -> str:

@@ -34,6 +34,24 @@ class PlanError(ReproError):
     """Raised when the optimizer cannot produce a plan (internal invariant)."""
 
 
+class PlanInvariantError(PlanError):
+    """A static plan-analysis check failed (:mod:`repro.analysis`).
+
+    Carries the individual :class:`~repro.analysis.AnalysisIssue` records
+    and, for per-rule checks, a blame report naming the rewrite that
+    turned a valid tree into an invalid one.  Subclassing
+    :class:`PlanError` means ``Database.execute`` treats a strict-mode
+    analyzer failure like any other optimizer failure: the query degrades
+    to a fallback plan instead of failing.
+    """
+
+    def __init__(self, message: str, issues=(), blame: str | None = None
+                 ) -> None:
+        super().__init__(message)
+        self.issues = list(issues)
+        self.blame = blame
+
+
 class ExecutionError(ReproError):
     """Raised for run-time execution failures."""
 

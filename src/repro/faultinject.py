@@ -35,6 +35,7 @@ INJECTION_SITES = frozenset({
     "plancache.put",        # per plan-cache insertion
     "executor.open",        # per physical-plan execution start
     "executor.naive",       # per naive-interpreter run start
+    "analyzer.check",       # per static plan-analysis entry point
 })
 
 

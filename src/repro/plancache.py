@@ -87,10 +87,12 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     stale: int = 0
+    #: entries refused admission by the cache's validator hook
+    rejected: int = 0
 
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = 0
-        self.invalidations = self.stale = 0
+        self.invalidations = self.stale = self.rejected = 0
 
 
 class PlanCache:
@@ -103,12 +105,15 @@ class PlanCache:
 
     def __init__(self, capacity: int = 128,
                  row_count_of: Callable[[str], int] | None = None,
-                 drift_threshold: float = DEFAULT_DRIFT_THRESHOLD) -> None:
+                 drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+                 validator: Callable[[CachedPlan], bool] | None = None
+                 ) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
         self.capacity = capacity
         self.drift_threshold = drift_threshold
         self._row_count_of = row_count_of
+        self._validator = validator
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self.stats = CacheStats()
 
@@ -138,6 +143,9 @@ class PlanCache:
 
     def put(self, entry: CachedPlan) -> None:
         faultinject.hit("plancache.put")
+        if self._validator is not None and not self._validator(entry):
+            self.stats.rejected += 1
+            return
         key = entry.key
         if key in self._entries:
             self._entries.move_to_end(key)

@@ -61,7 +61,7 @@ class TestSiteRegistry:
         assert INJECTION_SITES == {
             "optimizer.explore", "optimizer.memo", "optimizer.implement",
             "plancache.get", "plancache.put", "executor.open",
-            "executor.naive"}
+            "executor.naive", "analyzer.check"}
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError):
@@ -161,6 +161,34 @@ class TestCacheHygiene:
         db.execute(sql, FULL)  # populate the cache
         with fail_at("plancache.get", n=1):
             result = db.execute(sql, FULL)
+        assert Counter(result.rows) == expected
+
+
+class TestAnalyzerFaults:
+    """A fault inside the static analyzer must never take a query down:
+    the analyzer skips its check and the pipeline proceeds untouched."""
+
+    def test_analyzer_fault_skips_the_check_not_the_query(self, db,
+                                                          monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYZE", "strict")
+        sql = QUERIES[3]
+        expected = reference_rows(db, sql)
+        db.plan_cache.invalidate()
+        with fail_always("analyzer.check"):
+            result = db.execute(sql, FULL)
+        assert not result.degraded
+        assert Counter(result.rows) == expected
+        assert len(db.plan_cache) == 1  # admission proceeded unchecked
+
+    def test_analyzer_runs_once_the_fault_clears(self, db, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYZE", "strict")
+        sql = QUERIES[0]
+        expected = reference_rows(db, sql)
+        db.plan_cache.invalidate()
+        with fail_at("analyzer.check", n=1) as (trigger,):
+            result = db.execute(sql, FULL)
+        assert trigger.fired
+        assert not result.degraded
         assert Counter(result.rows) == expected
 
 
