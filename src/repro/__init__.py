@@ -20,8 +20,8 @@ Quickstart::
 """
 
 from .algebra import DataType, Interval
-from .database import (CORRELATED, DECORRELATE_ONLY, FULL, MODES, NAIVE,
-                       Database, ExecutionMode, PreparedStatement,
+from .database import (CORRELATED, DECORRELATE_ONLY, ENGINES, FULL, MODES,
+                       NAIVE, Database, ExecutionMode, PreparedStatement,
                        QueryResult)
 from .errors import (BindError, CatalogError, ExecutionError,
                      InjectedFault, OptimizerBudgetExceeded,
@@ -31,10 +31,11 @@ from .errors import (BindError, CatalogError, ExecutionError,
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .plancache import PlanCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["BindError", "CORRELATED", "CatalogError", "DECORRELATE_ONLY",
-           "DataType", "Database", "ExecutionError", "ExecutionMode",
+           "DataType", "Database", "ENGINES", "ExecutionError",
+           "ExecutionMode",
            "FULL", "InjectedFault", "Interval", "MODES", "NAIVE",
            "OptimizerBudget", "OptimizerBudgetExceeded", "ParameterError",
            "PlanCache", "PlanError", "PreparedStatement", "QueryResult",

@@ -13,7 +13,7 @@ from .analyzer import (ENV_VAR, OFF, STRICT, WARN, PlanAnalysisWarning,
                        PlanAnalyzer, analysis_mode)
 from .invariants import verify_logical
 from .issues import AnalysisIssue, render_issues
-from .physical import verify_physical
+from .physical import verify_batch_layout, verify_physical
 from .rulechecks import RULE_CHECKS, verify_oj_simplification
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "WARN",
     "analysis_mode",
     "render_issues",
+    "verify_batch_layout",
     "verify_logical",
     "verify_oj_simplification",
     "verify_physical",

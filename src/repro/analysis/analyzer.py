@@ -30,7 +30,7 @@ from ..algebra.relational import RelationalOp, SegmentRef
 from ..errors import InjectedFault, PlanInvariantError
 from .invariants import SegmentBindings, verify_logical
 from .issues import AnalysisIssue, render_issues
-from .physical import IndexProvider, verify_physical
+from .physical import IndexProvider, verify_batch_layout, verify_physical
 from .rulechecks import RULE_CHECKS, verify_oj_simplification
 
 OFF = "off"
@@ -131,6 +131,9 @@ class PlanAnalyzer:
             return []
         issues = verify_physical(plan, env,
                                  index_provider=self.index_provider)
+        # Positional layout checks: both engines compile against these,
+        # and the vectorized engine gathers whole columns by position.
+        issues.extend(verify_batch_layout(plan))
         self._report(stage, issues)
         return issues
 
@@ -147,8 +150,9 @@ class PlanAnalyzer:
             return True
         if rel is not None and verify_logical(rel, allow_subqueries=True):
             return False
-        if plan is not None and verify_physical(
-                plan, index_provider=self.index_provider):
+        if plan is not None and (
+                verify_physical(plan, index_provider=self.index_provider)
+                or verify_batch_layout(plan)):
             return False
         return True
 

@@ -195,3 +195,85 @@ def _walk(plan: PhysicalOp, env: frozenset[int], path: tuple[int, ...],
     for index, child in enumerate(children):
         _walk(child, child_envs[index], path + (index,),
               child_segments[index], index_provider, issues)
+
+
+def verify_batch_layout(plan: PhysicalOp) -> list[AnalysisIssue]:
+    """Positional layout invariants of batched execution.
+
+    :func:`verify_physical` checks column *sets* (everything referenced is
+    delivered somewhere); the vectorized engine additionally binds columns
+    by *position* — a filter passes its child's columns through unchanged,
+    a join's output is the left columns followed by the right columns, an
+    aggregate's output is its group columns followed by its aggregate
+    columns.  The tuple engine compiles against the same positions, but
+    the batched engine also gathers whole child columns by index, so a
+    plan whose declared ``columns`` sequence drifts from the construction
+    rule would silently transpose data.  This walk re-derives each
+    operator's expected layout from its inputs and flags any mismatch.
+    """
+    issues: list[AnalysisIssue] = []
+    _walk_batch(plan, (), issues)
+    return issues
+
+
+def _expected_layout(plan: PhysicalOp) -> Sequence[Column] | None:
+    """The column sequence ``plan.columns`` must equal positionally, or
+    ``None`` when the operator's layout is free (leaves, union maps)."""
+    if isinstance(plan, (PFilter, PSort, PTopN, PTop, PMax1row)):
+        return plan.children[0].columns
+    if isinstance(plan, PProject):
+        return [c for c, _ in plan.items]
+    if isinstance(plan, (PHashJoin, PNestedLoopsJoin, PNLApply)):
+        if plan.kind.left_only_output:
+            return plan.left.columns
+        return list(plan.left.columns) + list(plan.right.columns)
+    if isinstance(plan, (PHashAggregate, PStreamAggregate)):
+        return list(plan.group_columns) + [c for c, _ in plan.aggregates]
+    if isinstance(plan, PScalarAggregate):
+        return [c for c, _ in plan.aggregates]
+    if isinstance(plan, PSegmentApply):
+        return list(plan.segment_columns) + list(plan.right.columns)
+    return None
+
+
+def _walk_batch(plan: PhysicalOp, path: tuple[int, ...],
+                issues: list[AnalysisIssue]) -> None:
+    def report(code: str, message: str) -> None:
+        issues.append(AnalysisIssue(code, message, node=plan.label(),
+                                    path=path))
+
+    expected = _expected_layout(plan)
+    if expected is not None and _ids(plan.columns) != _ids(expected):
+        report("batch.layout-drift",
+               f"declared layout {_ids(plan.columns)} does not match the "
+               f"positional construction {_ids(expected)} the executors "
+               f"compile against")
+    if isinstance(plan, PConstantScan):
+        width = len(plan.columns)
+        for index, row in enumerate(plan.rows):
+            if len(row) != width:
+                report("batch.row-arity",
+                       f"constant row {index} has {len(row)} value(s) for "
+                       f"{width} column(s)")
+                break
+    elif isinstance(plan, PSegmentApply):
+        # The segment binding is the left input's rows verbatim (both
+        # engines publish them unchanged), read positionally by the
+        # SegmentRef leaves.  The binding columns may be *renamed*
+        # mirrors of the left columns (fresh cids), so only the arity is
+        # checkable here.
+        if len(plan.inner_columns) != len(plan.left.columns):
+            report("batch.segment-binding",
+                   f"inner binding has {len(plan.inner_columns)} "
+                   f"column(s) for a {len(plan.left.columns)}-column "
+                   f"segmented input")
+    elif isinstance(plan, (PUnionAll, PDifference)):
+        maps = (plan.input_maps if isinstance(plan, PUnionAll)
+                else [plan.left_map, plan.right_map])
+        for index, imap in enumerate(maps):
+            if len(imap) != len(plan.columns):
+                report("batch.map-arity",
+                       f"map {index} selects {len(imap)} column(s) for a "
+                       f"{len(plan.columns)}-column output")
+    for index, child in enumerate(plan.children):
+        _walk_batch(child, path + (index,), issues)

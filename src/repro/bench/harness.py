@@ -83,8 +83,10 @@ class Measurement:
 
 
 def time_query(db: Database, sql: str, mode: ExecutionMode,
-               repeat: int = 1) -> tuple[float, float, int]:
+               repeat: int = 1, engine: str = "tuple",
+               ) -> tuple[float, float, int]:
     """(plan seconds, best-of-``repeat`` execution seconds, row count)."""
+    from ..executor import VectorizedExecutor
     from ..executor.physical import PhysicalExecutor
     from ..executor import NaiveInterpreter
     from ..sql import parse
@@ -104,7 +106,8 @@ def time_query(db: Database, sql: str, mode: ExecutionMode,
     start = time.perf_counter()
     plan = db.plan(sql, mode)
     plan_seconds = time.perf_counter() - start
-    executor = PhysicalExecutor(db.storage)
+    executor = (VectorizedExecutor(db.storage) if engine == "vectorized"
+                else PhysicalExecutor(db.storage))
     best = float("inf")
     rows = 0
     for _ in range(repeat):
@@ -175,3 +178,73 @@ def series_table(measurements: Sequence[Measurement]) -> str:
             row.append(m.elapsed_seconds if m else "-")
         rows.append(row)
     return format_table(["scale_factor"] + list(modes), rows)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized-engine speedup report (BENCH_vectorized.json)
+# ---------------------------------------------------------------------------
+
+#: Q17-shaped workloads: the scan, the filter, the grouped aggregate that
+#: dominates Q17's inner subquery, and the full query.  The aggregate row
+#: is the headline number (the paper's SegmentApply strategy spends its
+#: time exactly there).
+VECTORIZED_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("q17_scan", "select l_partkey, l_quantity from lineitem"),
+    ("q17_scan_filter",
+     "select l_partkey, l_quantity from lineitem where l_quantity < 10"),
+    ("q17_aggregate",
+     "select l_partkey, 0.2 * avg(l_quantity) from lineitem "
+     "group by l_partkey"),
+    ("q17_full", None),  # resolved to tpch.QUERIES["Q17"]
+)
+
+
+def vectorized_speedup_report(scale_factor: float = 0.01,
+                              repeat: int = 3) -> dict:
+    """Time the Q17-shaped workloads on the tuple and vectorized engines.
+
+    Returns the ``BENCH_vectorized.json`` payload: per workload, the
+    best-of-``repeat`` elapsed seconds per engine, input rows/second
+    (lineitem rows scanned over elapsed time), and the tuple→vectorized
+    speedup.
+    """
+    from ..tpch import QUERIES
+
+    db = tpch_database(scale_factor)
+    input_rows = len(db.storage.get("lineitem").rows)
+    workloads = {}
+    for name, sql in VECTORIZED_WORKLOADS:
+        sql = sql if sql is not None else QUERIES["Q17"]
+        _, tuple_s, out_rows = time_query(db, sql, FULL, repeat, "tuple")
+        _, vector_s, vec_rows = time_query(db, sql, FULL, repeat,
+                                           "vectorized")
+        assert vec_rows == out_rows, f"{name}: engines disagree"
+        workloads[name] = {
+            "sql": sql,
+            "input_rows": input_rows,
+            "output_rows": out_rows,
+            "tuple_seconds": tuple_s,
+            "vectorized_seconds": vector_s,
+            "tuple_rows_per_sec": input_rows / tuple_s,
+            "vectorized_rows_per_sec": input_rows / vector_s,
+            "speedup": tuple_s / vector_s,
+        }
+    return {
+        "benchmark": "vectorized_engine",
+        "scale_factor": scale_factor,
+        "repeat": repeat,
+        "headline": "q17_aggregate",
+        "workloads": workloads,
+    }
+
+
+def vectorized_speedup_table(report: dict) -> str:
+    """Paper-style table for a :func:`vectorized_speedup_report`."""
+    rows = []
+    for name, w in report["workloads"].items():
+        rows.append([name, w["tuple_seconds"], w["vectorized_seconds"],
+                     w["vectorized_rows_per_sec"],
+                     f"{w['speedup']:.2f}x"])
+    return format_table(
+        ["workload", "tuple_s", "vectorized_s", "vec_rows/s", "speedup"],
+        rows)

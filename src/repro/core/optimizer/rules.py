@@ -468,12 +468,46 @@ class LocalGroupByPushBelowJoin(Rule):
             group_cols.append(by_id[cid])
         if not group_cols:
             return None  # degenerate: nothing to segment on
-        pushed = LocalGroupBy(target, group_cols, lgb.aggregates)
+        # Below a LEFT OUTER join the same Section 3.2 hazard as
+        # _push_below_outerjoin applies: a padded row carries NULL local
+        # aggregates, but an aggregate with a non-NULL agg(∅) (count)
+        # must deliver that constant or the global combination above the
+        # join (sum of local counts) turns an all-padded group into NULL.
+        rename: dict[int, Column] = {}
+        pushed_aggs = lgb.aggregates
+        if join.kind is JoinKind.LEFT_OUTER:
+            renamed = []
+            for column, call in lgb.aggregates:
+                if call.descriptor.value_on_empty is None:
+                    renamed.append((column, call))
+                else:
+                    fresh = Column(column.name, column.dtype,
+                                   nullable=False)
+                    rename[column.cid] = fresh
+                    renamed.append((fresh, call))
+            if rename:
+                pushed_aggs = renamed
+        pushed = LocalGroupBy(target, group_cols, pushed_aggs)
         if side == "right":
             new_join = Join(join.kind, other, pushed, join.predicate)
         else:
             new_join = Join(join.kind, pushed, other, join.predicate)
-        return _restore(new_join, lgb.output_columns())
+        if not rename:
+            return _restore(new_join, lgb.output_columns())
+        detector = next(iter(rename.values()))
+        constants = {column.cid: call.descriptor.value_on_empty
+                     for column, call in lgb.aggregates}
+        items = []
+        for column in lgb.output_columns():
+            if column.cid in rename:
+                guarded = Case(
+                    [(IsNull(ColumnRef(detector)),
+                      Literal(constants[column.cid]))],
+                    ColumnRef(rename[column.cid]))
+                items.append((column, guarded))
+            else:
+                items.append((column, ColumnRef(column)))
+        return Project(new_join, items)
 
 
 class SelectPushdown(Rule):

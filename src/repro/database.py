@@ -32,6 +32,7 @@ from .errors import (BindError, ExecutionError, InjectedFault,
                      ReproError)
 from .executor import NaiveInterpreter
 from .executor.physical import PhysicalExecutor
+from .executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .physical import PhysicalOp, explain_physical
 from .plancache import CachedPlan, PlanCache, normalize_sql_key
@@ -73,6 +74,13 @@ NAIVE = ExecutionMode("naive", use_naive_interpreter=True)
 
 MODES = {mode.name: mode for mode in (FULL, DECORRELATE_ONLY, CORRELATED,
                                       NAIVE)}
+
+#: Execution engines: how a chosen physical plan is evaluated.  The
+#: optimizer pipeline is identical for both — only the runtime differs.
+#: ``"tuple"`` is the iterator (tuple-at-a-time) executor, ``"vectorized"``
+#: the batch-at-a-time columnar executor.  (``mode="naive"`` bypasses
+#: physical planning entirely and ignores the engine.)
+ENGINES = ("tuple", "vectorized")
 
 
 class QueryResult:
@@ -190,26 +198,32 @@ class PreparedStatement:
     """
 
     def __init__(self, database: "Database", sql: str,
-                 mode: ExecutionMode) -> None:
+                 mode: ExecutionMode, engine: str = "tuple") -> None:
         self._database = database
         self.sql = sql
         self.mode = mode
-        self._database._cached_plan(sql, mode)  # compile eagerly
+        self.engine = engine
+        self._database._cached_plan(sql, mode,
+                                    engine=engine)  # compile eagerly
+
+    def _entry(self) -> CachedPlan:
+        return self._database._cached_plan(self.sql, self.mode,
+                                           engine=self.engine)
 
     @property
     def parameters(self) -> tuple:
         """The statement's parameter markers, in slot order."""
-        return self._database._cached_plan(self.sql, self.mode).parameters
+        return self._entry().parameters
 
     @property
     def names(self) -> list[str]:
         """Output column names."""
-        return list(self._database._cached_plan(self.sql, self.mode).names)
+        return list(self._entry().names)
 
     @property
     def plan(self) -> PhysicalOp | None:
         """The cached physical plan (``None`` in naive mode)."""
-        return self._database._cached_plan(self.sql, self.mode).plan
+        return self._entry().plan
 
     def execute(self, params: Params = None, *,
                 timeout: float | None = None,
@@ -220,23 +234,34 @@ class PreparedStatement:
         return self._database.execute(
             self.sql, self.mode, params, timeout=timeout,
             row_budget=row_budget, memory_budget=memory_budget,
-            optimizer_budget=optimizer_budget, governor=governor)
+            optimizer_budget=optimizer_budget, governor=governor,
+            engine=self.engine)
 
     def explain(self, costs: bool = False) -> str:
         return self._database.explain(self.sql, self.mode, costs)
 
     def __repr__(self) -> str:
-        return f"PreparedStatement({self.sql!r}, mode={self.mode.name})"
+        return (f"PreparedStatement({self.sql!r}, mode={self.mode.name}, "
+                f"engine={self.engine})")
 
 
 class Database:
     """An embedded SQL database running the paper's optimizer pipeline."""
 
-    def __init__(self, plan_cache_capacity: int = 128) -> None:
+    def __init__(self, plan_cache_capacity: int = 128,
+                 default_engine: str = "tuple",
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if default_engine not in ENGINES:
+            raise ValueError(
+                f"unknown execution engine {default_engine!r}; "
+                f"expected one of: {', '.join(ENGINES)}")
         self.catalog = Catalog()
         self.storage = Storage()
         self._binder = Binder(self.catalog)
         self._executor = PhysicalExecutor(self.storage)
+        self._vectorized = VectorizedExecutor(self.storage,
+                                              batch_size=batch_size)
+        self.default_engine = default_engine
         self.plan_cache = PlanCache(plan_cache_capacity,
                                     row_count_of=self._row_count,
                                     validator=self._plan_admissible)
@@ -313,14 +338,18 @@ class Database:
                 row_budget: int | None = None,
                 memory_budget: int | None = None,
                 optimizer_budget: OptimizerBudget | None = None,
-                governor: ResourceGovernor | None = None) -> QueryResult:
+                governor: ResourceGovernor | None = None,
+                engine: str | None = None) -> QueryResult:
         """Execute ``sql``, binding ``params`` to its parameter markers.
 
         Plans are served from :attr:`plan_cache`: re-executing the same
         statement text (modulo whitespace and keyword case) skips parse,
         bind, normalization and optimization entirely.  ``mode`` accepts
         an :class:`ExecutionMode` or its name (``"full"``, ``"naive"``,
-        ...).
+        ...).  ``engine`` selects the runtime — ``"tuple"`` (iterator) or
+        ``"vectorized"`` (batch-at-a-time columnar); it defaults to the
+        database's :attr:`default_engine` and does not affect results,
+        only how the chosen physical plan is evaluated.
 
         Resource governance: ``timeout`` (wall-clock seconds, covering
         optimization and execution), ``row_budget`` (rows examined),
@@ -336,6 +365,7 @@ class Database:
         ``QueryResult.degraded`` and ``QueryResult.stats``.
         """
         resolved = self._resolve_mode(mode)
+        resolved_engine = self._resolve_engine(engine)
         gov = governor
         if gov is None and (timeout is not None or row_budget is not None
                             or memory_budget is not None
@@ -346,7 +376,8 @@ class Database:
         started = time.monotonic()
         if gov is not None:
             gov.start()
-        entry = self._cached_plan(sql, resolved, gov)
+        entry = self._cached_plan(sql, resolved, gov,
+                                  engine=resolved_engine)
         values = bind_parameters(entry.parameters, params)
         degraded = entry.degraded
         reason = entry.fallback_reason
@@ -372,7 +403,11 @@ class Database:
             # Naive mode, or a degraded entry whose fallback plan could
             # not be built: interpret the bound logical tree directly.
             return self._run_naive(entry.rel, values, gov)
-        return self._executor.run_prepared(entry.executable, values, gov)
+        return self._executor_for(entry.engine).run_prepared(
+            entry.executable, values, gov)
+
+    def _executor_for(self, engine: str):
+        return self._vectorized if engine == "vectorized" else self._executor
 
     def _run_naive(self, rel: RelationalOp, values: tuple,
                    gov: ResourceGovernor | None) -> list[tuple]:
@@ -381,9 +416,20 @@ class Database:
         return interpreter.run(rel, values)
 
     def prepare(self, sql: str,
-                mode: ExecutionMode | str = FULL) -> PreparedStatement:
+                mode: ExecutionMode | str = FULL,
+                engine: str | None = None) -> PreparedStatement:
         """Compile ``sql`` once for repeated execution with fresh bindings."""
-        return PreparedStatement(self, sql, self._resolve_mode(mode))
+        return PreparedStatement(self, sql, self._resolve_mode(mode),
+                                 self._resolve_engine(engine))
+
+    def _resolve_engine(self, engine: str | None) -> str:
+        if engine is None:
+            return self.default_engine
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown execution engine {engine!r}; "
+                f"expected one of: {', '.join(ENGINES)}")
+        return engine
 
     def _resolve_mode(self, mode: ExecutionMode | str) -> ExecutionMode:
         if isinstance(mode, ExecutionMode):
@@ -397,7 +443,8 @@ class Database:
                 f"{', '.join(sorted(MODES))}") from None
 
     def _cached_plan(self, sql: str, mode: ExecutionMode,
-                     gov: ResourceGovernor | None = None) -> CachedPlan:
+                     gov: ResourceGovernor | None = None,
+                     engine: str = "tuple") -> CachedPlan:
         """The compiled form of ``sql``, from cache or built fresh.
 
         Fault-tolerant: a failing plan-cache lookup is a cache miss, a
@@ -409,7 +456,7 @@ class Database:
         sql_key = normalize_sql_key(sql)
         try:
             entry = self.plan_cache.get(sql_key, mode.name,
-                                        self.catalog.version)
+                                        self.catalog.version, engine)
         except InjectedFault:
             entry = None
         if entry is not None:
@@ -434,7 +481,7 @@ class Database:
                     analyzer.check_logical(normalized,
                                            stage="admission:logical")
                 plan = self._optimizer(mode, gov).optimize(normalized)
-                executable = self._executor.prepare(plan)
+                executable = self._executor_for(engine).prepare(plan)
                 if analyzer is not None:
                     analyzer.check_physical(plan,
                                             stage="admission:physical")
@@ -442,11 +489,13 @@ class Database:
                     ExecutionError) as exc:
                 degraded = True
                 reason = f"{type(exc).__name__}: {exc}"
-                plan, executable = self._degraded_plan(mode, normalized)
+                plan, executable = self._degraded_plan(mode, normalized,
+                                                       engine)
         entry = CachedPlan(
             sql_key=sql_key,
             mode_name=mode.name,
             catalog_version=self.catalog.version,
+            engine=engine,
             names=list(bound.names),
             types=bound.column_types,
             parameters=bound.parameters,
@@ -464,7 +513,8 @@ class Database:
                 pass  # uncached, but the compiled entry is still good
         return entry
 
-    def _degraded_plan(self, mode: ExecutionMode, normalized: RelationalOp
+    def _degraded_plan(self, mode: ExecutionMode, normalized: RelationalOp,
+                       engine: str = "tuple"
                        ) -> tuple[PhysicalOp | None, Any]:
         """Fallback tiers after a cost-based-optimizer failure.
 
@@ -478,7 +528,7 @@ class Database:
         analyzer = PlanAnalyzer.for_admission(self._index_provider)
         try:
             plan = self._optimizer(mode).heuristic_plan(normalized)
-            executable = self._executor.prepare(plan)
+            executable = self._executor_for(engine).prepare(plan)
             if analyzer is not None:
                 analyzer.check_physical(plan, stage="fallback:heuristic")
             return plan, executable

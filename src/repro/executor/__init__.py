@@ -1,6 +1,7 @@
-"""Execution engines: the naive logical interpreter (oracle/baseline) and
-the physical iterator engine."""
+"""Execution engines: the naive logical interpreter (oracle/baseline),
+the physical iterator engine, and the vectorized batch engine."""
 
 from .naive import NaiveInterpreter, like_match
+from .vectorized import Batch, VectorizedExecutor
 
-__all__ = ["NaiveInterpreter", "like_match"]
+__all__ = ["Batch", "NaiveInterpreter", "VectorizedExecutor", "like_match"]

@@ -36,7 +36,10 @@ class ExecutionContext:
 
     def __init__(self, governor=None) -> None:
         self.params: dict[int, Any] = {}
-        self.segments: dict[frozenset[int], list[tuple]] = {}
+        #: Current segment per SegmentRef column set: a list of row
+        #: tuples under the tuple engine, a columnar Batch under the
+        #: vectorized engine (each engine only reads what it wrote).
+        self.segments: dict[frozenset[int], Any] = {}
         #: ResourceGovernor | None — checked cooperatively by operators.
         self.governor = governor
 

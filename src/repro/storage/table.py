@@ -24,6 +24,7 @@ class StoredTable:
         self._indexes: dict[str, Any] = {}
         self._key_indexes: list[Any] = []
         self._stats_cache: TableStats | None = None
+        self._columns_cache: list[list] | None = None
         from .index import HashIndex  # deferred: keep import graph simple
         for key in definition.all_keys():
             positions = [definition.column_index(name) for name in key]
@@ -42,6 +43,7 @@ class StoredTable:
         for index in self._indexes.values():
             index.insert(row, position)
         self._stats_cache = None
+        self._columns_cache = None
 
     def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
         count = 0
@@ -89,6 +91,38 @@ class StoredTable:
 
     def scan(self) -> Iterator[tuple]:
         return iter(self.rows)
+
+    def columns(self) -> list[list]:
+        """The table pivoted to columnar form: one value list per declared
+        column, aligned by row position.
+
+        The projection is computed lazily and cached; any insert drops the
+        cache.  Callers (the vectorized executor) treat the lists as
+        immutable — chunking slices them, it never mutates them.
+        """
+        if self._columns_cache is None:
+            if self.rows:
+                self._columns_cache = [list(c) for c in zip(*self.rows)]
+            else:
+                self._columns_cache = [[] for _ in self.definition.columns]
+        return self._columns_cache
+
+    def column_chunks(self, batch_size: int) -> Iterator[tuple[list[list], int]]:
+        """Yield ``(columns, nrows)`` chunks of at most ``batch_size`` rows.
+
+        The last chunk is short; an empty table yields nothing.
+        """
+        if batch_size < 1:
+            raise ExecutionError("batch_size must be at least 1")
+        cols = self.columns()
+        total = len(self.rows)
+        for start in range(0, total, batch_size):
+            stop = min(start + batch_size, total)
+            if stop - start == total:
+                # whole-table chunk: share the cached lists, no copy
+                yield cols, total
+            else:
+                yield [col[start:stop] for col in cols], stop - start
 
     def __len__(self) -> int:
         return len(self.rows)

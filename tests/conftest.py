@@ -67,3 +67,10 @@ def build_mini_catalog() -> Catalog:
 @pytest.fixture
 def mini_catalog() -> Catalog:
     return build_mini_catalog()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/* with the plans the optimizer "
+             "produces now (review the diff before committing)")

@@ -48,6 +48,20 @@ class TestHitsAndMisses:
         db.execute("select a from t", mode="naive")
         assert db.plan_cache.stats.misses == 2
 
+    def test_engines_do_not_share_entries(self):
+        # Regression: with the engine missing from the cache key, a
+        # vectorized execute() after a tuple execute() of the same
+        # statement replayed the tuple executable — same key,
+        # incompatible executable type.
+        db = make_db()
+        first = db.execute("select a from t", engine="tuple")
+        second = db.execute("select a from t", engine="vectorized")
+        assert db.plan_cache.stats.misses == 2
+        assert second.rows == first.rows
+        db.execute("select a from t", engine="tuple")
+        db.execute("select a from t", engine="vectorized")
+        assert db.plan_cache.stats.hits == 2
+
     def test_prepared_statement_skips_replanning(self):
         db = make_db()
         stmt = db.prepare("select a from t where a = ?")
@@ -195,12 +209,18 @@ class TestStaleness:
 
 class TestPlanCacheUnit:
     def _entry(self, sql_key="k", mode="full", version=0,
-               tables=frozenset()):
+               tables=frozenset(), engine="tuple"):
         return CachedPlan(
             sql_key=sql_key, mode_name=mode, catalog_version=version,
             names=["a"], types=[DataType.INTEGER], parameters=(),
             plan=None, rel=None, executable=None,
-            snapshot=StatsSnapshot({}), table_names=tables)
+            snapshot=StatsSnapshot({}), engine=engine, table_names=tables)
+
+    def test_key_includes_engine(self):
+        cache = PlanCache()
+        cache.put(self._entry("q", engine="tuple"))
+        assert cache.get("q", "full", 0, engine="vectorized") is None
+        assert cache.get("q", "full", 0, engine="tuple") is not None
 
     def test_targeted_invalidation_by_table(self):
         cache = PlanCache()
