@@ -1,0 +1,153 @@
+"""Server throughput under sustained concurrent load.
+
+Drives the wire server with several concurrent clients running a mixed
+read workload and reports sustained QPS, latency percentiles, plan-cache
+hit rate and shed count.  In-process sessions (no sockets) are measured
+alongside as the upper bound, so the wire overhead is visible in the
+report.
+
+The run writes ``BENCH_server.json`` to the working directory — the
+repository's BENCH trajectory artifact, uploaded by CI.  The asserted
+floors are deliberately modest (CI machines are noisy); the JSON carries
+the real numbers.
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+from repro import Database, DataType
+from repro.server import QueryServer, ServerClient
+
+CLIENTS = 4
+QUERIES_PER_CLIENT = 150
+MIN_WIRE_QPS = 25.0
+MIN_SESSION_QPS = 100.0
+
+WORKLOAD = [
+    "select a from t where b = 1 order by a",
+    "select b, count(*) from t group by b order by b",
+    "select a, (select count(*) from u where ua = b) from t "
+    "where a < 40 order by a",
+    "select max(a) from t",
+]
+
+
+def build_db() -> Database:
+    db = Database(plan_cache_shards=4)
+    db.create_table("t", [("a", DataType.INTEGER, False),
+                          ("b", DataType.INTEGER, False)],
+                    primary_key=("a",))
+    db.create_table("u", [("uk", DataType.INTEGER, False),
+                          ("ua", DataType.INTEGER, False)],
+                    primary_key=("uk",))
+    db.insert("t", [(i, i % 7) for i in range(200)])
+    db.insert("u", [(i, i % 11) for i in range(150)])
+    for sql in WORKLOAD:  # warm the plan cache before measuring
+        db.execute(sql)
+    db.plan_cache.stats.reset()
+    return db
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def drive_clients(run_one) -> dict:
+    """Run the workload from CLIENTS concurrent threads; ``run_one``
+    maps (thread_no, sql) -> result."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS)
+
+    def worker(n: int) -> None:
+        mine: list[float] = []
+        try:
+            barrier.wait()
+            for step in range(QUERIES_PER_CLIENT):
+                sql = WORKLOAD[(n + step) % len(WORKLOAD)]
+                t0 = time.perf_counter()
+                run_one(n, sql)
+                mine.append(time.perf_counter() - t0)
+        except BaseException as exc:  # pragma: no cover - failure path
+            with lock:
+                errors.append(f"client {n}: {exc!r}")
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=worker, args=(n,))
+               for n in range(CLIENTS)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    total = CLIENTS * QUERIES_PER_CLIENT
+    assert len(latencies) == total
+    latencies.sort()
+    return {
+        "queries": total,
+        "elapsed_seconds": elapsed,
+        "qps": total / elapsed,
+        "latency_p50_ms": percentile(latencies, 0.50) * 1e3,
+        "latency_p95_ms": percentile(latencies, 0.95) * 1e3,
+        "latency_p99_ms": percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def test_server_throughput(benchmark):
+    # In-process sessions: the no-socket upper bound.
+    db = build_db()
+    sessions = [db.session() for _ in range(CLIENTS)]
+    session_report = drive_clients(
+        lambda n, sql: sessions[n].execute(sql))
+    for session in sessions:
+        session.close()
+    session_report["plan_cache_hit_rate"] = db.plan_cache.stats.hit_rate
+
+    # The same workload over the wire.
+    db = build_db()
+    with QueryServer(db, max_workers=CLIENTS) as server:
+        host, port = server.address
+        clients = [ServerClient(host, port, timeout=120)
+                   for _ in range(CLIENTS)]
+        wire_report = drive_clients(lambda n, sql: clients[n].query(sql))
+        metrics = server.metrics()
+        wire_report["plan_cache_hit_rate"] = metrics["plan_cache_hit_rate"]
+        wire_report["shed"] = metrics["shed"]
+        for client in clients:
+            client.close()
+
+    report = {"config": {"clients": CLIENTS,
+                         "queries_per_client": QUERIES_PER_CLIENT,
+                         "workload": WORKLOAD},
+              "session": session_report,
+              "wire": wire_report}
+    print()
+    print(f"session engine: {session_report['qps']:8.1f} qps  "
+          f"p95 {session_report['latency_p95_ms']:6.2f} ms")
+    print(f"wire protocol:  {wire_report['qps']:8.1f} qps  "
+          f"p95 {wire_report['latency_p95_ms']:6.2f} ms  "
+          f"(hit rate {wire_report['plan_cache_hit_rate']:.2%})")
+
+    out = pathlib.Path("BENCH_server.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert session_report["qps"] >= MIN_SESSION_QPS
+    assert wire_report["qps"] >= MIN_WIRE_QPS
+    assert wire_report["plan_cache_hit_rate"] >= 0.90
+
+    # pytest-benchmark datapoint: one wire round-trip on a hot cache.
+    db2 = build_db()
+    with QueryServer(db2, max_workers=2) as server:
+        host, port = server.address
+        with ServerClient(host, port, timeout=120) as client:
+            client.query(WORKLOAD[0])
+            benchmark(lambda: client.query(WORKLOAD[0]))

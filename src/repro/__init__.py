@@ -25,20 +25,29 @@ from .database import (CORRELATED, DECORRELATE_ONLY, ENGINES, FULL, MODES,
                        QueryResult)
 from .errors import (BindError, CatalogError, ExecutionError,
                      InjectedFault, OptimizerBudgetExceeded,
-                     ParameterError, PlanError, QueryTimeout, ReproError,
-                     ResourceError, ResourceExhausted, SqlSyntaxError,
-                     SubqueryReturnedMultipleRows)
+                     ParameterError, PlanError, ProtocolError,
+                     QueryTimeout, ReproError, ResourceError,
+                     ResourceExhausted, ServerError, ServerOverloaded,
+                     SessionClosed, SqlSyntaxError,
+                     SubqueryReturnedMultipleRows, TransactionConflict,
+                     TransactionError)
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .plancache import PlanCache
+# Imported last: the server package itself imports Database, so this
+# keeps the import graph acyclic.
+from .server import QueryServer, ServerClient, Session
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["BindError", "CORRELATED", "CatalogError", "DECORRELATE_ONLY",
            "DataType", "Database", "ENGINES", "ExecutionError",
            "ExecutionMode",
            "FULL", "InjectedFault", "Interval", "MODES", "NAIVE",
            "OptimizerBudget", "OptimizerBudgetExceeded", "ParameterError",
-           "PlanCache", "PlanError", "PreparedStatement", "QueryResult",
+           "PlanCache", "PlanError", "PreparedStatement", "ProtocolError",
+           "QueryResult", "QueryServer",
            "QueryStats", "QueryTimeout", "ReproError", "ResourceError",
-           "ResourceExhausted", "ResourceGovernor", "SqlSyntaxError",
-           "SubqueryReturnedMultipleRows", "__version__"]
+           "ResourceExhausted", "ResourceGovernor", "ServerClient",
+           "ServerError", "ServerOverloaded", "Session", "SessionClosed",
+           "SqlSyntaxError", "SubqueryReturnedMultipleRows",
+           "TransactionConflict", "TransactionError", "__version__"]

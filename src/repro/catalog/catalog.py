@@ -7,6 +7,7 @@ statistics (see :mod:`repro.catalog.statistics`) feed cardinality estimation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -105,18 +106,24 @@ class Catalog:
         #: plans embed the version they were built against; a mismatch
         #: means the plan may reference stale schema and must be rebuilt.
         self.version = 0
+        #: Serializes DDL: concurrent sessions may create/drop objects,
+        #: and the existence check plus insert plus version bump must be
+        #: one atomic step.  Reads stay lock-free (dict reads are atomic
+        #: and definitions are immutable once registered).
+        self._lock = threading.RLock()
 
     # -- tables ---------------------------------------------------------------
 
     def create_table(self, table: TableDef) -> TableDef:
         key = table.name.lower()
-        if key in self._tables:
-            raise CatalogError(f"table {table.name!r} already exists")
-        if key in self._views:
-            raise CatalogError(f"{table.name!r} already names a view")
-        self._tables[key] = table
-        self.version += 1
-        return table
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            if key in self._views:
+                raise CatalogError(f"{table.name!r} already names a view")
+            self._tables[key] = table
+            self.version += 1
+            return table
 
     def get_table(self, name: str) -> TableDef:
         try:
@@ -129,13 +136,14 @@ class Catalog:
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        del self._tables[key]
-        for index_name in [n for n, ix in self._indexes.items()
-                           if ix.table_name.lower() == key]:
-            del self._indexes[index_name]
-        self.version += 1
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"unknown table {name!r}")
+            del self._tables[key]
+            for index_name in [n for n, ix in self._indexes.items()
+                               if ix.table_name.lower() == key]:
+                del self._indexes[index_name]
+            self.version += 1
 
     def tables(self) -> Iterator[TableDef]:
         return iter(self._tables.values())
@@ -145,12 +153,13 @@ class Catalog:
     def create_view(self, name: str, sql: str) -> None:
         """Register a view: a named query expanded at bind time."""
         key = name.lower()
-        if key in self._views:
-            raise CatalogError(f"view {name!r} already exists")
-        if key in self._tables:
-            raise CatalogError(f"{name!r} already names a table")
-        self._views[key] = sql
-        self.version += 1
+        with self._lock:
+            if key in self._views:
+                raise CatalogError(f"view {name!r} already exists")
+            if key in self._tables:
+                raise CatalogError(f"{name!r} already names a table")
+            self._views[key] = sql
+            self.version += 1
 
     def has_view(self, name: str) -> bool:
         return name.lower() in self._views
@@ -162,25 +171,27 @@ class Catalog:
             raise CatalogError(f"unknown view {name!r}") from None
 
     def drop_view(self, name: str) -> None:
-        if name.lower() not in self._views:
-            raise CatalogError(f"unknown view {name!r}")
-        del self._views[name.lower()]
-        self.version += 1
+        with self._lock:
+            if name.lower() not in self._views:
+                raise CatalogError(f"unknown view {name!r}")
+            del self._views[name.lower()]
+            self.version += 1
 
     # -- indexes ---------------------------------------------------------------
 
     def create_index(self, index: IndexDef) -> IndexDef:
         key = index.name.lower()
-        if key in self._indexes:
-            raise CatalogError(f"index {index.name!r} already exists")
-        table = self.get_table(index.table_name)
-        for col in index.column_names:
-            if not table.has_column(col):
-                raise CatalogError(
-                    f"index column {col!r} not in table {table.name!r}")
-        self._indexes[key] = index
-        self.version += 1
-        return index
+        with self._lock:
+            if key in self._indexes:
+                raise CatalogError(f"index {index.name!r} already exists")
+            table = self.get_table(index.table_name)
+            for col in index.column_names:
+                if not table.has_column(col):
+                    raise CatalogError(
+                        f"index column {col!r} not in table {table.name!r}")
+            self._indexes[key] = index
+            self.version += 1
+            return index
 
     def indexes_on(self, table_name: str) -> list[IndexDef]:
         return [ix for ix in self._indexes.values()

@@ -16,6 +16,7 @@ configurations:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import (Any, Iterable, Iterator, Mapping, Optional, Sequence,
@@ -250,7 +251,8 @@ class Database:
 
     def __init__(self, plan_cache_capacity: int = 128,
                  default_engine: str = "tuple",
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 plan_cache_shards: int = 1) -> None:
         if default_engine not in ENGINES:
             raise ValueError(
                 f"unknown execution engine {default_engine!r}; "
@@ -262,9 +264,15 @@ class Database:
         self._vectorized = VectorizedExecutor(self.storage,
                                               batch_size=batch_size)
         self.default_engine = default_engine
+        # ``plan_cache_shards=1`` keeps exact global LRU order (the
+        # single-threaded default); servers pass more shards to spread
+        # lock contention across stripes (see repro.server).
         self.plan_cache = PlanCache(plan_cache_capacity,
                                     row_count_of=self._row_count,
-                                    validator=self._plan_admissible)
+                                    validator=self._plan_admissible,
+                                    shards=plan_cache_shards)
+        self._sessions_lock = threading.Lock()
+        self._open_sessions: set[str] = set()
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -294,7 +302,10 @@ class Database:
                      kind: str = "hash") -> IndexDef:
         index = IndexDef(index_name, table_name, tuple(column_names), kind)
         self.catalog.create_index(index)
-        self.storage.get(table_name).add_index(index)
+        # Copy-on-write: the indexed version is installed atomically, so
+        # concurrent readers see either the old version (no index) or
+        # the new one (index fully built), never a half-built index.
+        self.storage.apply_add_index(table_name, index)
         self.plan_cache.invalidate()
         return index
 
@@ -328,7 +339,9 @@ class Database:
 
     def insert(self, table_name: str,
                rows: Iterable[Sequence[Any] | dict]) -> int:
-        return self.storage.get(table_name).insert_many(rows)
+        """Autocommit batch insert (copy-on-write: all-or-nothing, and
+        concurrent snapshot readers never see a partial batch)."""
+        return self.storage.apply_insert(table_name, rows)
 
     # -- queries -------------------------------------------------------------------
 
@@ -339,7 +352,8 @@ class Database:
                 memory_budget: int | None = None,
                 optimizer_budget: OptimizerBudget | None = None,
                 governor: ResourceGovernor | None = None,
-                engine: str | None = None) -> QueryResult:
+                engine: str | None = None,
+                snapshot=None) -> QueryResult:
         """Execute ``sql``, binding ``params`` to its parameter markers.
 
         Plans are served from :attr:`plan_cache`: re-executing the same
@@ -363,6 +377,13 @@ class Database:
         query: execution degrades to a heuristic plan — ultimately to
         naive interpretation — and the result is flagged via
         ``QueryResult.degraded`` and ``QueryResult.stats``.
+
+        ``snapshot`` pins the data the query reads: pass a
+        :class:`~repro.storage.table.StorageSnapshot` (or any object with
+        a compatible ``get``) and execution resolves every table from it
+        instead of live storage.  Sessions use this for snapshot
+        isolation; plans and the plan cache are unaffected (a plan is
+        data-version agnostic).
         """
         resolved = self._resolve_mode(mode)
         resolved_engine = self._resolve_engine(engine)
@@ -382,14 +403,14 @@ class Database:
         degraded = entry.degraded
         reason = entry.fallback_reason
         try:
-            rows = self._run_entry(entry, values, gov)
+            rows = self._run_entry(entry, values, gov, snapshot)
         except InjectedFault as fault:
             # The physical executor died on an injected infrastructure
             # fault before any row reached the caller (results are fully
             # materialized): re-run on the independent naive interpreter.
             degraded = True
             reason = f"executor fault: {fault}"
-            rows = self._run_naive(entry.rel, values, gov)
+            rows = self._run_naive(entry.rel, values, gov, snapshot)
         stats = QueryStats(elapsed_seconds=time.monotonic() - started,
                            degraded=degraded, fallback_reason=reason)
         if gov is not None:
@@ -398,21 +419,24 @@ class Database:
                            degraded=degraded, stats=stats)
 
     def _run_entry(self, entry: CachedPlan, values: tuple,
-                   gov: ResourceGovernor | None) -> list[tuple]:
+                   gov: ResourceGovernor | None,
+                   snapshot=None) -> list[tuple]:
         if entry.executable is None:
             # Naive mode, or a degraded entry whose fallback plan could
             # not be built: interpret the bound logical tree directly.
-            return self._run_naive(entry.rel, values, gov)
+            return self._run_naive(entry.rel, values, gov, snapshot)
         return self._executor_for(entry.engine).run_prepared(
-            entry.executable, values, gov)
+            entry.executable, values, gov, storage=snapshot)
 
     def _executor_for(self, engine: str):
         return self._vectorized if engine == "vectorized" else self._executor
 
     def _run_naive(self, rel: RelationalOp, values: tuple,
-                   gov: ResourceGovernor | None) -> list[tuple]:
+                   gov: ResourceGovernor | None,
+                   snapshot=None) -> list[tuple]:
+        source = snapshot if snapshot is not None else self.storage
         interpreter = NaiveInterpreter(
-            lambda name: self.storage.get(name).rows, governor=gov)
+            lambda name: source.get(name).rows, governor=gov)
         return interpreter.run(rel, values)
 
     def prepare(self, sql: str,
@@ -421,6 +445,35 @@ class Database:
         """Compile ``sql`` once for repeated execution with fresh bindings."""
         return PreparedStatement(self, sql, self._resolve_mode(mode),
                                  self._resolve_engine(engine))
+
+    # -- sessions ------------------------------------------------------------------
+
+    def session(self, lock_timeout: float = 5.0,
+                default_mode: ExecutionMode | str = FULL,
+                default_engine: str | None = None):
+        """Open a :class:`~repro.server.sessions.Session` on this database.
+
+        Sessions provide begin/commit/rollback with copy-on-write
+        snapshot isolation and are safe to use from one thread each;
+        any number of sessions may run concurrently.
+        """
+        from .server.sessions import Session  # deferred: avoid cycle
+        return Session(self, lock_timeout=lock_timeout,
+                       default_mode=self._resolve_mode(default_mode),
+                       default_engine=self._resolve_engine(default_engine))
+
+    def _register_session(self, session_id: str) -> None:
+        with self._sessions_lock:
+            self._open_sessions.add(session_id)
+
+    def _deregister_session(self, session_id: str) -> None:
+        with self._sessions_lock:
+            self._open_sessions.discard(session_id)
+
+    @property
+    def open_session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._open_sessions)
 
     def _resolve_engine(self, engine: str | None) -> str:
         if engine is None:

@@ -1,4 +1,4 @@
-"""Minimal DB-API 2.0 (PEP 249) adapter over :class:`repro.Database`.
+"""DB-API 2.0 (PEP 249) adapter over :class:`repro.Database` sessions.
 
 Lets standard database tooling talk to the engine::
 
@@ -9,20 +9,31 @@ Lets standard database tooling talk to the engine::
     cur.execute("select a from t where a > ?", (1,))
     print(cur.fetchall())
 
-Only the query subset of the spec is implemented (this engine has no
-transactions: ``commit`` is a no-op and ``rollback`` raises).  Parameters
-use the ``qmark`` style, matching the engine's native ``?`` markers.
+Every connection wraps its own :class:`~repro.server.sessions.Session`,
+so connections are independent and may be used from different threads
+concurrently (``threadsafety = 2``: share the module and connections
+across threads, but drive any single connection from one thread at a
+time).  By default connections autocommit, matching the engine's
+historical behaviour; pass ``autocommit=False`` to get implicit
+transactions — the first statement begins one, and ``commit()`` /
+``rollback()`` end it.  Parameters use the ``qmark`` style, matching the
+engine's native ``?`` markers.
+
+For services that churn through many short-lived connections, a small
+:class:`ConnectionPool` hands out pooled connections mapped onto
+long-lived sessions.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping, Sequence
+import queue
+from typing import Any, Iterator, Mapping, Optional, Sequence
 
 from .database import Database, QueryResult
-from .errors import ReproError
+from .errors import ReproError, TransactionError
 
 apilevel = "2.0"
-threadsafety = 1  # threads may share the module, not connections
+threadsafety = 2  # threads may share the module and connections
 paramstyle = "qmark"
 
 
@@ -43,23 +54,34 @@ class ProgrammingError(DatabaseError):
 
 
 class OperationalError(DatabaseError):
-    """Errors during execution not caused by the statement text."""
+    """Errors during execution not caused by the statement text:
+    transaction conflicts, lock timeouts, overload shedding."""
 
 
 class NotSupportedError(DatabaseError):
     """A requested feature the engine does not provide."""
 
 
-def connect(database: Database | None = None) -> "Connection":
-    """Open a connection; wraps an existing engine or creates a fresh one."""
-    return Connection(database if database is not None else Database())
+def connect(database: Database | None = None,
+            autocommit: bool = True) -> "Connection":
+    """Open a connection; wraps an existing engine or creates a fresh one.
+
+    With ``autocommit=False`` the connection runs implicit transactions:
+    the first statement after ``connect``/``commit``/``rollback`` begins
+    one, and only ``commit()`` makes its writes visible to other
+    connections.
+    """
+    return Connection(database if database is not None else Database(),
+                      autocommit=autocommit)
 
 
 class Connection:
-    """A PEP 249 connection: a cursor factory over one engine instance."""
+    """A PEP 249 connection: one session on the engine, plus cursors."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, autocommit: bool = True) -> None:
         self._database = database
+        self._session = database.session()
+        self.autocommit = autocommit
         self._closed = False
 
     @property
@@ -68,19 +90,40 @@ class Connection:
         routes through ``cursor.execute`` in richer implementations)."""
         return self._database
 
+    @property
+    def session(self):
+        """The underlying :class:`~repro.server.sessions.Session`."""
+        return self._session
+
     def cursor(self) -> "Cursor":
         self._check_open()
         return Cursor(self)
 
     def commit(self) -> None:
-        self._check_open()  # no transactions: every statement autocommits
+        """Commit the implicit transaction (a no-op in autocommit mode
+        or when no statement has run yet)."""
+        self._check_open()
+        if self._session.in_transaction:
+            try:
+                self._session.commit()
+            except TransactionError as exc:
+                raise OperationalError(str(exc)) from exc
 
     def rollback(self) -> None:
+        """Discard the implicit transaction's writes (no-op when none
+        is open)."""
         self._check_open()
-        raise NotSupportedError("this engine has no transactions")
+        self._session.rollback()
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
+        self._session.close()  # rolls back any open transaction
+
+    def _ensure_transaction(self) -> None:
+        if not self.autocommit and not self._session.in_transaction:
+            self._session.begin()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -111,9 +154,12 @@ class Cursor:
                 ) -> "Cursor":
         self._check_open()
         self.connection._check_open()
+        self.connection._ensure_transaction()
         try:
-            self._result = self.connection.database.execute(
+            self._result = self.connection._session.execute(
                 operation, params=parameters or None)
+        except TransactionError as exc:
+            raise OperationalError(str(exc)) from exc
         except ReproError as exc:
             raise ProgrammingError(str(exc)) from exc
         self._position = 0
@@ -188,3 +234,95 @@ class Cursor:
     def _check_open(self) -> None:
         if self._closed:
             raise InterfaceError("cursor is closed")
+
+
+class ConnectionPool:
+    """A small fixed pool of connections onto one shared engine.
+
+    ::
+
+        pool = ConnectionPool(db, size=4)
+        with pool.connection() as conn:
+            conn.cursor().execute("select 1 from t")
+
+    ``acquire`` blocks until a connection is free (or raises
+    :class:`OperationalError` after ``timeout`` seconds); ``release``
+    rolls back any open transaction before returning the connection, so
+    the next borrower never inherits another's transaction state.
+    """
+
+    def __init__(self, database: Database | None = None, size: int = 4,
+                 autocommit: bool = True) -> None:
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._database = database if database is not None else Database()
+        self.size = size
+        self._free: "queue.Queue[Connection]" = queue.Queue()
+        for _ in range(size):
+            self._free.put(Connection(self._database,
+                                      autocommit=autocommit))
+        self._closed = False
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    def acquire(self, timeout: Optional[float] = None) -> Connection:
+        if self._closed:
+            raise InterfaceError("pool is closed")
+        try:
+            return self._free.get(timeout=timeout)
+        except queue.Empty:
+            raise OperationalError(
+                f"no pooled connection became free within {timeout}s"
+            ) from None
+
+    def release(self, connection: Connection) -> None:
+        if connection._closed:
+            # A borrower closed the connection; replace it to keep the
+            # pool at full strength.
+            connection = Connection(self._database,
+                                    autocommit=connection.autocommit)
+        else:
+            connection.rollback()
+        if self._closed:
+            connection.close()
+            return
+        self._free.put(connection)
+
+    def connection(self, timeout: Optional[float] = None):
+        """Borrow a connection for a ``with`` block."""
+        return _PooledConnection(self, timeout)
+
+    def close(self) -> None:
+        self._closed = True
+        while True:
+            try:
+                self._free.get_nowait().close()
+            except queue.Empty:
+                return
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _PooledConnection:
+    """Context manager pairing ``acquire`` with ``release``."""
+
+    def __init__(self, pool: ConnectionPool,
+                 timeout: Optional[float]) -> None:
+        self._pool = pool
+        self._timeout = timeout
+        self._conn: Connection | None = None
+
+    def __enter__(self) -> Connection:
+        self._conn = self._pool.acquire(self._timeout)
+        return self._conn
+
+    def __exit__(self, *exc_info) -> None:
+        if self._conn is not None:
+            self._pool.release(self._conn)
+            self._conn = None

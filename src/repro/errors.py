@@ -116,6 +116,54 @@ class InjectedFault(ReproError):
         self.site = site
 
 
+class ServerError(ReproError):
+    """Base class for errors raised by the concurrent query service
+    (:mod:`repro.server`): admission control, sessions and the wire
+    protocol."""
+
+
+class ServerOverloaded(ServerError):
+    """The service shed a request instead of queueing it.
+
+    Raised by admission control when the pending-request queue is at its
+    bound or the global resource pool cannot grant a lease in time.
+    Shedding is deliberate back-pressure: the caller should retry later,
+    and the error is never converted into a degraded result.
+    """
+
+    def __init__(self, reason: str, limit: int | float,
+                 pending: int | float) -> None:
+        super().__init__(
+            f"server overloaded: {reason} (limit {limit}, pending "
+            f"{pending})")
+        self.reason = reason
+        self.limit = limit
+        self.pending = pending
+
+
+class ProtocolError(ServerError):
+    """A malformed wire-protocol request (bad JSON, unknown op, missing
+    fields).  Fails the one request, never the connection or server."""
+
+
+class TransactionError(ReproError):
+    """Base class for session-transaction misuse and failures."""
+
+
+class TransactionConflict(TransactionError):
+    """Snapshot-isolation write conflict.
+
+    Raised when a transaction tries to write a table whose installed
+    version changed after the transaction's snapshot was pinned
+    (first-committer-wins), or when the per-table writer lock cannot be
+    acquired before the deadline (a conservative deadlock verdict).
+    """
+
+
+class SessionClosed(TransactionError):
+    """An operation was attempted on a closed session."""
+
+
 class ParameterError(ReproError):
     """Raised when query-parameter bindings do not match the statement.
 

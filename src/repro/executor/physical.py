@@ -29,12 +29,13 @@ from .naive import _SortValue
 
 
 class ExecutionContext:
-    """Per-run mutable state: correlation parameters, current segments and
-    the optional per-query resource governor."""
+    """Per-run mutable state: correlation parameters, current segments,
+    the optional per-query resource governor, and the storage view the
+    run reads from."""
 
-    __slots__ = ("params", "segments", "governor")
+    __slots__ = ("params", "segments", "governor", "storage")
 
-    def __init__(self, governor=None) -> None:
+    def __init__(self, governor=None, storage=None) -> None:
         self.params: dict[int, Any] = {}
         #: Current segment per SegmentRef column set: a list of row
         #: tuples under the tuple engine, a columnar Batch under the
@@ -42,6 +43,12 @@ class ExecutionContext:
         self.segments: dict[frozenset[int], Any] = {}
         #: ResourceGovernor | None — checked cooperatively by operators.
         self.governor = governor
+        #: Where leaf operators resolve tables *at open time*: the live
+        #: :class:`~repro.storage.table.Storage` or a pinned
+        #: :class:`~repro.storage.table.StorageSnapshot`.  Run-time
+        #: resolution is what makes one cached executable serve both the
+        #: latest data and any session snapshot.
+        self.storage = storage
 
 
 class _Executable:
@@ -77,7 +84,7 @@ class PhysicalExecutor:
 
     def run_prepared(self, executable: _Executable,
                      params: Sequence[Any] | None = None,
-                     governor=None) -> list[tuple]:
+                     governor=None, storage=None) -> list[tuple]:
         """Execute a prepared plan, optionally binding query parameters.
 
         ``params`` is a sequence in slot order; slot ``i`` is published to
@@ -86,9 +93,13 @@ class PhysicalExecutor:
         metered cooperatively: result rows count against the row budget
         (catching output explosions above any guarded operator) and the
         deadline gets a final deterministic check even for empty results.
+        ``storage`` overrides where table scans and seeks resolve their
+        data — pass a pinned snapshot to run against it; the executor's
+        live storage is the default.
         """
         faultinject.hit("executor.open")
-        ctx = ExecutionContext(governor)
+        ctx = ExecutionContext(
+            governor, storage if storage is not None else self._storage)
         if params is not None:
             for i, value in enumerate(params):
                 ctx.params[parameter_slot(i)] = value
@@ -109,9 +120,11 @@ class PhysicalExecutor:
         return method(plan)
 
     def _prepare_PTableScan(self, plan: PTableScan) -> _Executable:
-        table = self._storage.get(plan.table_name)
+        self._storage.get(plan.table_name)  # validate eagerly
+        name = plan.table_name
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
+            table = ctx.storage.get(name)
             governor = ctx.governor
             if governor is None:
                 return iter(table.rows)
@@ -120,30 +133,44 @@ class PhysicalExecutor:
 
     def _prepare_PIndexSeek(self, plan: PIndexSeek) -> _Executable:
         table = self._storage.get(plan.table_name)
+        name = plan.table_name
         names = [c.name for c in plan.key_columns]
-        index = table.key_lookup_index(names)
-        if index is None:
+        if table.key_lookup_index(names) is None:
             raise ExecutionError(
                 f"no index on {plan.table_name}({', '.join(names)})")
         layout = build_layout(plan.columns)
         key_fns = [compile_expr(e, {}) for e in plan.key_exprs]
         position_for = {table.definition.column_index(c.name): fn
                         for c, fn in zip(plan.key_columns, key_fns)}
-        index_positions = index.positions
         residual = (compile_expr(plan.residual, layout)
                     if plan.residual is not None else None)
         empty = ()
+        # Table versions are immutable once installed, so the per-version
+        # index resolution is memoized as one atomically-swapped tuple;
+        # concurrent runs over different snapshots stay consistent because
+        # each reads the (version, index) pair it resolved.
+        resolved: tuple = (None, None)
 
         def rows(ctx: ExecutionContext) -> Iterator[tuple]:
+            nonlocal resolved
+            table = ctx.storage.get(name)
+            cached_table, index = resolved
+            if table is not cached_table:
+                index = table.key_lookup_index(names)
+                if index is None:
+                    raise ExecutionError(
+                        f"no index on {name}({', '.join(names)})")
+                resolved = (table, index)
             governor = ctx.governor
             values = {p: fn(empty, ctx.params)
                       for p, fn in position_for.items()}
-            key = tuple(values[p] for p in index_positions)
+            key = tuple(values[p] for p in index.positions)
             positions = index.lookup(key)
             if governor is not None and positions:
                 governor.consume_rows(len(positions))
+            table_rows = table.rows
             for position in positions:
-                row = table.rows[position]
+                row = table_rows[position]
                 if residual is None or residual(row, ctx.params) is True:
                     yield row
         return _Executable(rows)

@@ -179,12 +179,13 @@ class VectorizedExecutor:
 
     def run_prepared(self, executable: _VecExecutable,
                      params: Sequence[Any] | None = None,
-                     governor=None) -> list[tuple]:
+                     governor=None, storage=None) -> list[tuple]:
         """Execute a prepared plan; same contract as the tuple engine's
         ``run_prepared`` (slot-ordered ``params``, cooperative governor,
-        rows returned as tuples)."""
+        rows returned as tuples, optional ``storage`` view override)."""
         faultinject.hit("executor.open")
-        ctx = ExecutionContext(governor)
+        ctx = ExecutionContext(
+            governor, storage if storage is not None else self._storage)
         if params is not None:
             for i, value in enumerate(params):
                 ctx.params[parameter_slot(i)] = value
@@ -213,10 +214,12 @@ class VectorizedExecutor:
     # -- leaves -----------------------------------------------------------------
 
     def _prepare_PTableScan(self, plan: PTableScan) -> _VecExecutable:
-        table = self._storage.get(plan.table_name)
+        self._storage.get(plan.table_name)  # validate eagerly
+        name = plan.table_name
         size = self._batch_size
 
         def batches(ctx: ExecutionContext) -> Iterator[Batch]:
+            table = ctx.storage.get(name)
             governor = ctx.governor
             for cols, nrows in table.column_chunks(size):
                 if governor is not None:
@@ -226,25 +229,36 @@ class VectorizedExecutor:
 
     def _prepare_PIndexSeek(self, plan: PIndexSeek) -> _VecExecutable:
         table = self._storage.get(plan.table_name)
+        name = plan.table_name
         names = [c.name for c in plan.key_columns]
-        index = table.key_lookup_index(names)
-        if index is None:
+        if table.key_lookup_index(names) is None:
             raise ExecutionError(
                 f"no index on {plan.table_name}({', '.join(names)})")
         key_fns = [compile_expr(e, {}) for e in plan.key_exprs]
         position_for = {table.definition.column_index(c.name): fn
                         for c, fn in zip(plan.key_columns, key_fns)}
-        index_positions = index.positions
         residual = (compile_vector(plan.residual,
                                    build_layout(plan.columns))
                     if plan.residual is not None else None)
         empty = ()
+        # Per-version index memo, swapped atomically (see the tuple
+        # engine's _prepare_PIndexSeek for the concurrency argument).
+        resolved: tuple = (None, None)
 
         def batches(ctx: ExecutionContext) -> Iterator[Batch]:
+            nonlocal resolved
+            table = ctx.storage.get(name)
+            cached_table, index = resolved
+            if table is not cached_table:
+                index = table.key_lookup_index(names)
+                if index is None:
+                    raise ExecutionError(
+                        f"no index on {name}({', '.join(names)})")
+                resolved = (table, index)
             governor = ctx.governor
             values = {p: fn(empty, ctx.params)
                       for p, fn in position_for.items()}
-            key = tuple(values[p] for p in index_positions)
+            key = tuple(values[p] for p in index.positions)
             positions = index.lookup(key)
             if not positions:
                 return

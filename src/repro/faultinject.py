@@ -36,6 +36,9 @@ INJECTION_SITES = frozenset({
     "executor.open",        # per physical-plan execution start
     "executor.naive",       # per naive-interpreter run start
     "analyzer.check",       # per static plan-analysis entry point
+    "admission.enqueue",    # per request submitted to admission control
+    "snapshot.install",     # per table-version install (commit point)
+    "wire.decode",          # per wire-protocol request decode
 })
 
 

@@ -24,6 +24,7 @@ Soundness comes from three mechanisms:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
@@ -87,7 +88,11 @@ class CachedPlan:
 
 @dataclass
 class CacheStats:
-    """Observable cache behaviour, for tests and monitoring."""
+    """Observable cache behaviour, for tests and monitoring.
+
+    The owning cache updates counters under a dedicated stats lock, so
+    concurrent sessions never lose increments.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -97,38 +102,89 @@ class CacheStats:
     #: entries refused admission by the cache's validator hook
     rejected: int = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = 0
         self.invalidations = self.stale = self.rejected = 0
 
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations, "stale": self.stale,
+                "rejected": self.rejected, "hit_rate": self.hit_rate}
+
+
+class _Shard:
+    """One lock-protected LRU segment of the cache."""
+
+    __slots__ = ("lock", "entries")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+
 
 class PlanCache:
-    """LRU cache of :class:`CachedPlan` entries with staleness checking.
+    """Lock-striped LRU cache of :class:`CachedPlan` entries.
 
     ``row_count_of`` supplies current table sizes for the drift test; pass
     ``None`` to disable staleness checking (entries then live until DDL
     invalidation or LRU eviction).
+
+    Thread safety: entries are hashed across ``shards`` independent LRU
+    segments, each guarded by its own lock, so concurrent sessions
+    contend only when they touch the same stripe.  Capacity is divided
+    evenly across shards — with the default single shard the eviction
+    order is the exact global LRU; with more shards it is LRU per stripe
+    (approximate global LRU), the standard striping trade-off.  The
+    validator and staleness callbacks run *outside* the stripe locks:
+    they may be slow (the static analyzer, row-count probes) and must not
+    serialize unrelated lookups.
     """
 
     def __init__(self, capacity: int = 128,
                  row_count_of: Callable[[str], int] | None = None,
                  drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
-                 validator: Callable[[CachedPlan], bool] | None = None
-                 ) -> None:
+                 validator: Callable[[CachedPlan], bool] | None = None,
+                 shards: int = 1) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
+        if shards < 1:
+            raise ValueError("plan cache needs at least 1 shard")
+        shards = min(shards, capacity)
         self.capacity = capacity
         self.drift_threshold = drift_threshold
         self._row_count_of = row_count_of
         self._validator = validator
-        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self._shards = [_Shard() for _ in range(shards)]
+        self._shard_capacity = -(-capacity // shards)  # ceil
         self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, key: tuple) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    def _bump(self, field_name: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, field_name,
+                    getattr(self.stats, field_name) + n)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
 
     def get(self, sql_key: Hashable, mode_name: str,
             catalog_version: int,
@@ -136,31 +192,41 @@ class PlanCache:
         """Look up a cached plan, applying LRU touch and staleness check."""
         faultinject.hit("plancache.get")
         key = (sql_key, mode_name, engine, catalog_version)
-        entry = self._entries.get(key)
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self._bump("misses")
             return None
         if self._is_stale(entry):
-            del self._entries[key]
-            self.stats.stale += 1
-            self.stats.misses += 1
+            with shard.lock:
+                shard.entries.pop(key, None)
+            self._bump("stale")
+            self._bump("misses")
             return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
+        with shard.lock:
+            if key in shard.entries:
+                shard.entries.move_to_end(key)
+        self._bump("hits")
         return entry
 
     def put(self, entry: CachedPlan) -> None:
         faultinject.hit("plancache.put")
         if self._validator is not None and not self._validator(entry):
-            self.stats.rejected += 1
+            self._bump("rejected")
             return
         key = entry.key
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        shard = self._shard_for(key)
+        evicted = 0
+        with shard.lock:
+            if key in shard.entries:
+                shard.entries.move_to_end(key)
+            shard.entries[key] = entry
+            while len(shard.entries) > self._shard_capacity:
+                shard.entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self._bump("evictions", evicted)
 
     def invalidate(self, table_name: str | None = None) -> int:
         """Drop cached plans; all of them, or those touching one table.
@@ -170,18 +236,30 @@ class PlanCache:
         correctness, so this is about reclaiming memory eagerly rather
         than stranding dead entries until LRU eviction.
         """
-        if table_name is None:
-            removed = len(self._entries)
-            self._entries.clear()
-        else:
-            wanted = table_name.lower()
-            doomed = [key for key, entry in self._entries.items()
-                      if wanted in entry.table_names]
-            for key in doomed:
-                del self._entries[key]
-            removed = len(doomed)
-        self.stats.invalidations += removed
+        removed = 0
+        for shard in self._shards:
+            with shard.lock:
+                if table_name is None:
+                    removed += len(shard.entries)
+                    shard.entries.clear()
+                else:
+                    wanted = table_name.lower()
+                    doomed = [key for key, entry in shard.entries.items()
+                              if wanted in entry.table_names]
+                    for key in doomed:
+                        del shard.entries[key]
+                    removed += len(doomed)
+        if removed:
+            self._bump("invalidations", removed)
         return removed
+
+    def entries(self) -> list[CachedPlan]:
+        """A point-in-time list of every cached entry (all shards)."""
+        collected: list[CachedPlan] = []
+        for shard in self._shards:
+            with shard.lock:
+                collected.extend(shard.entries.values())
+        return collected
 
     def capture_snapshot(self,
                          table_names: Sequence[str]) -> StatsSnapshot:

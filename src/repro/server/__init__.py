@@ -1,0 +1,29 @@
+"""Concurrent query service: sessions, admission control, wire protocol.
+
+Layers, bottom-up:
+
+* :mod:`~repro.server.sessions` — transactional :class:`Session` handles
+  with copy-on-write snapshot isolation (obtained via
+  :meth:`repro.Database.session`);
+* :mod:`~repro.server.admission` — the bounded worker pool with fair
+  per-session scheduling and overload shedding, plus the global
+  :class:`ResourcePool` that query governor budgets are leased from;
+* :mod:`~repro.server.wire` / :mod:`~repro.server.client` — the
+  JSON-lines socket server and its blocking client.
+"""
+
+from .admission import AdmissionController, Lease, ResourcePool
+from .client import ClientResult, ServerClient
+from .sessions import Session, SessionStats
+from .wire import QueryServer
+
+__all__ = [
+    "AdmissionController",
+    "ClientResult",
+    "Lease",
+    "QueryServer",
+    "ResourcePool",
+    "ServerClient",
+    "Session",
+    "SessionStats",
+]

@@ -1,0 +1,317 @@
+"""Admission control: bounded workers, fair queues, overload shedding.
+
+The server never lets load turn into deadlock or unbounded queueing.
+Three mechanisms compose:
+
+* :class:`AdmissionController` — a fixed worker pool draining per-session
+  FIFO queues in round-robin order, so one chatty session cannot starve
+  the others.  When the total queued work reaches ``max_queue_depth`` a
+  new submission is *shed* — it raises
+  :class:`~repro.errors.ServerOverloaded` immediately instead of waiting,
+  which is deliberate back-pressure the client can retry against.
+* :class:`ResourcePool` — a global budget of buffered rows (memory proxy)
+  and in-flight examined rows from which each admitted query leases its
+  per-query governor budget; the lease returns to the pool when the query
+  finishes.  A lease that cannot be granted before its timeout sheds too.
+* :class:`_Job` — a tiny future: the submitting thread blocks on
+  ``result()`` while a worker runs the callable; a worker that dies takes
+  down exactly one job (the exception is delivered to that caller), never
+  the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .. import faultinject
+from ..errors import ServerError, ServerOverloaded
+
+DEFAULT_MAX_WORKERS = 4
+DEFAULT_MAX_QUEUE_DEPTH = 32
+
+
+class Lease:
+    """One query's slice of the global resource pool (context manager)."""
+
+    __slots__ = ("memory_rows", "row_budget", "_pool", "_released")
+
+    def __init__(self, pool: "ResourcePool", memory_rows: Optional[int],
+                 row_budget: Optional[int]) -> None:
+        self._pool = pool
+        self.memory_rows = memory_rows
+        self.row_budget = row_budget
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool._release(self)
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ResourcePool:
+    """A global memory/row budget shared by every in-flight query.
+
+    ``memory_rows`` bounds the rows all running queries may buffer
+    simultaneously; ``row_budget`` bounds the rows they may examine.
+    Either may be ``None`` (unmetered).  Queries lease a slice and return
+    it on completion; an exhausted pool makes :meth:`lease` wait up to
+    ``timeout`` and then shed with :class:`ServerOverloaded`.
+    """
+
+    def __init__(self, memory_rows: Optional[int] = None,
+                 row_budget: Optional[int] = None) -> None:
+        for name, value in (("memory_rows", memory_rows),
+                            ("row_budget", row_budget)):
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be at least 1")
+        self.memory_rows = memory_rows
+        self.row_budget = row_budget
+        self._memory_available = memory_rows
+        self._rows_available = row_budget
+        self._cv = threading.Condition()
+
+    def available(self) -> dict:
+        with self._cv:
+            return {"memory_rows": self._memory_available,
+                    "row_budget": self._rows_available}
+
+    def lease(self, memory_rows: Optional[int] = None,
+              row_budget: Optional[int] = None,
+              timeout: Optional[float] = None) -> Lease:
+        """Draw a per-query budget from the pool (shed on timeout).
+
+        Requests against an unmetered dimension pass through unchanged;
+        requests above the pool's total are clamped to it (the pool can
+        never grant more than it owns).
+        """
+        want_memory = self._clamp(memory_rows, self.memory_rows)
+        want_rows = self._clamp(row_budget, self.row_budget)
+        need_memory = want_memory if self.memory_rows is not None else None
+        need_rows = want_rows if self.row_budget is not None else None
+        if need_memory is None and need_rows is None:
+            return Lease(self, want_memory, want_rows)
+        with self._cv:
+            granted = self._cv.wait_for(
+                lambda: self._grantable(need_memory, need_rows),
+                timeout=timeout)
+            if not granted:
+                raise ServerOverloaded(
+                    "resource pool exhausted",
+                    self.memory_rows if need_memory is not None
+                    else self.row_budget,
+                    self._memory_available if need_memory is not None
+                    else self._rows_available)
+            if need_memory is not None:
+                self._memory_available -= need_memory
+            if need_rows is not None:
+                self._rows_available -= need_rows
+        return Lease(self, want_memory, want_rows)
+
+    @staticmethod
+    def _clamp(request: Optional[int], total: Optional[int]
+               ) -> Optional[int]:
+        if request is None:
+            return None
+        if total is None:
+            return request
+        return min(request, total)
+
+    def _grantable(self, need_memory: Optional[int],
+                   need_rows: Optional[int]) -> bool:
+        if need_memory is not None and self._memory_available < need_memory:
+            return False
+        if need_rows is not None and self._rows_available < need_rows:
+            return False
+        return True
+
+    def _release(self, lease: Lease) -> None:
+        with self._cv:
+            if self.memory_rows is not None and lease.memory_rows:
+                self._memory_available += lease.memory_rows
+            if self.row_budget is not None and lease.row_budget:
+                self._rows_available += lease.row_budget
+            self._cv.notify_all()
+
+
+class _Job:
+    """A submitted unit of work: run by a worker, awaited by the caller."""
+
+    __slots__ = ("fn", "session_id", "_done", "_result", "_exc")
+
+    def __init__(self, session_id: str, fn: Callable[[], Any]) -> None:
+        self.session_id = session_id
+        self.fn = fn
+        self._done = threading.Event()
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self._result = self.fn()
+        except BaseException as exc:  # delivered to the waiting caller
+            self._exc = exc
+        finally:
+            self._done.set()
+
+    def fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout):
+            raise ServerError(
+                f"timed out waiting for a queued request after {timeout}s")
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+
+class AdmissionController:
+    """Bounded worker pool with fair per-session queues and shedding."""
+
+    def __init__(self, max_workers: int = DEFAULT_MAX_WORKERS,
+                 max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.max_workers = max_workers
+        self.max_queue_depth = max_queue_depth
+        self._cv = threading.Condition()
+        self._queues: dict[str, deque[_Job]] = {}
+        self._rotation: deque[str] = deque()
+        self._closed = False
+        self._active = 0
+        self._shed = 0
+        self._completed = 0
+        self._failed = 0
+        self._workers = [
+            threading.Thread(target=self._work, daemon=True,
+                             name=f"admission-worker-{i}")
+            for i in range(max_workers)]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, session_id: str, fn: Callable[[], Any]) -> _Job:
+        """Queue ``fn`` under ``session_id``; shed if the queue is full."""
+        faultinject.hit("admission.enqueue")
+        with self._cv:
+            if self._closed:
+                raise ServerError("admission controller is shut down")
+            depth = sum(len(q) for q in self._queues.values())
+            if depth >= self.max_queue_depth:
+                self._shed += 1
+                raise ServerOverloaded("request queue full",
+                                       self.max_queue_depth, depth)
+            job = _Job(session_id, fn)
+            queue = self._queues.get(session_id)
+            if queue is None:
+                queue = self._queues[session_id] = deque()
+                self._rotation.append(session_id)
+            elif session_id not in self._rotation:
+                self._rotation.append(session_id)
+            queue.append(job)
+            self._cv.notify()
+        return job
+
+    def run(self, session_id: str, fn: Callable[[], Any],
+            timeout: Optional[float] = None) -> Any:
+        """Submit and wait — the blocking convenience wrapper."""
+        return self.submit(session_id, fn).result(timeout)
+
+    # -- workers -------------------------------------------------------------------
+
+    def _next_job(self) -> Optional[_Job]:
+        """Round-robin across sessions: one job from the next session
+        with pending work.  Caller holds the lock."""
+        while self._rotation:
+            session_id = self._rotation.popleft()
+            queue = self._queues.get(session_id)
+            if not queue:
+                self._queues.pop(session_id, None)
+                continue
+            job = queue.popleft()
+            if queue:
+                self._rotation.append(session_id)
+            else:
+                self._queues.pop(session_id, None)
+            return job
+        return None
+
+    def _work(self) -> None:
+        while True:
+            with self._cv:
+                job = self._next_job()
+                while job is None and not self._closed:
+                    self._cv.wait()
+                    job = self._next_job()
+                if job is None:
+                    return  # closed and drained
+                self._active += 1
+            try:
+                job.run()
+            finally:
+                with self._cv:
+                    self._active -= 1
+                    self._completed += 1
+                    if job._exc is not None:
+                        self._failed += 1
+
+    # -- observability -------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        with self._cv:
+            return {
+                "queue_depth": sum(len(q) for q in self._queues.values()),
+                "active": self._active,
+                "shed": self._shed,
+                "completed": self._completed,
+                "failed": self._failed,
+                "max_workers": self.max_workers,
+                "max_queue_depth": self.max_queue_depth,
+            }
+
+    @property
+    def shed_count(self) -> int:
+        with self._cv:
+            return self._shed
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; fail whatever is still queued so no
+        caller blocks forever, then (optionally) join the workers."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            orphaned = [job for queue in self._queues.values()
+                        for job in queue]
+            self._queues.clear()
+            self._rotation.clear()
+            self._cv.notify_all()
+        for job in orphaned:
+            job.fail(ServerError("admission controller shut down while "
+                                 "the request was queued"))
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout=5.0)
+
+    def __enter__(self) -> "AdmissionController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

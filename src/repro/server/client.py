@@ -1,0 +1,187 @@
+"""A thin blocking client for the JSON-lines wire protocol.
+
+::
+
+    with ServerClient(host, port) as client:
+        result = client.query("SELECT count(*) FROM orders")
+        print(result.rows)
+
+Server-side errors are re-raised locally as the matching class from
+:mod:`repro.errors` (``ServerOverloaded`` keeps its back-pressure detail),
+so calling code handles wire and in-process execution uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping, Optional, Sequence
+
+from .. import errors as _errors
+from ..algebra.datatypes import DataType
+from ..errors import ProtocolError, ReproError
+from .wire import decode_row, encode_value
+
+_DTYPES = {d.value: d for d in DataType}
+
+
+class ClientResult:
+    """Rows plus schema as decoded from one query response."""
+
+    __slots__ = ("names", "types", "rows", "degraded", "elapsed_seconds")
+
+    def __init__(self, payload: dict) -> None:
+        self.names = payload["columns"]
+        self.types = [_DTYPES.get(t, DataType.UNKNOWN)
+                      for t in payload["types"]]
+        self.rows = [decode_row(row) for row in payload["rows"]]
+        self.degraded = payload["degraded"]
+        self.elapsed_seconds = payload["elapsed_seconds"]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.names, row)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        if len(self.rows) != 1 or len(self.names) != 1:
+            raise ValueError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)} "
+                f"row(s) x {len(self.names)} column(s)")
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ClientResult({len(self.rows)} rows x {self.names})"
+
+
+def _reconstruct_error(payload: dict) -> Exception:
+    name = payload.get("type", "ServerError")
+    message = payload.get("message", "unknown server error")
+    if name == "ServerOverloaded":
+        return _errors.ServerOverloaded(
+            payload.get("reason", message),
+            payload.get("limit", 0), payload.get("pending", 0))
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return _errors.ServerError(f"{name}: {message}")
+
+
+class ServerClient:
+    """One connection (= one server-side session), driven synchronously."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._closed = False
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the decoded ``ok`` response
+        (raising the reconstructed error for a ``not ok`` one)."""
+        if self._closed:
+            raise ProtocolError("client connection is closed")
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            self._closed = True
+            raise ProtocolError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise _reconstruct_error(response.get("error", {}))
+        return response
+
+    # -- operations ----------------------------------------------------------------
+
+    def query(self, sql: str,
+              params: Sequence[Any] | Mapping[str, Any] | None = None,
+              mode: str | None = None,
+              engine: str | None = None) -> ClientResult:
+        payload: dict = {"op": "query", "sql": sql}
+        if params is not None:
+            if isinstance(params, Mapping):
+                payload["params"] = {k: encode_value(v)
+                                     for k, v in params.items()}
+            else:
+                payload["params"] = [encode_value(v) for v in params]
+        if mode is not None:
+            payload["mode"] = mode
+        if engine is not None:
+            payload["engine"] = engine
+        return ClientResult(self.request(payload))
+
+    def explain(self, sql: str, mode: str | None = None,
+                costs: bool = False) -> str:
+        payload: dict = {"op": "explain", "sql": sql, "costs": costs}
+        if mode is not None:
+            payload["mode"] = mode
+        return self.request(payload)["plan"]
+
+    def insert(self, table: str, rows: Sequence[Sequence[Any] | Mapping]
+               ) -> int:
+        encoded = [
+            {k: encode_value(v) for k, v in row.items()}
+            if isinstance(row, Mapping)
+            else [encode_value(v) for v in row]
+            for row in rows]
+        return self.request(
+            {"op": "insert", "table": table, "rows": encoded})["inserted"]
+
+    def begin(self) -> None:
+        self.request({"op": "begin"})
+
+    def commit(self) -> None:
+        self.request({"op": "commit"})
+
+    def rollback(self) -> None:
+        self.request({"op": "rollback"})
+
+    def create_table(self, name: str, columns: Sequence[Sequence],
+                     primary_key: Sequence[str] = (),
+                     unique_keys: Sequence[Sequence[str]] = ()) -> None:
+        specs = []
+        for spec in columns:
+            spec = list(spec)
+            if len(spec) >= 2 and isinstance(spec[1], DataType):
+                spec[1] = spec[1].value
+            specs.append(spec)
+        self.request({"op": "create_table", "name": name,
+                      "columns": specs,
+                      "primary_key": list(primary_key),
+                      "unique_keys": [list(k) for k in unique_keys]})
+
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], kind: str = "hash") -> None:
+        self.request({"op": "create_index", "name": name, "table": table,
+                      "columns": list(columns), "kind": kind})
+
+    def drop_table(self, name: str) -> None:
+        self.request({"op": "drop_table", "name": name})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})["metrics"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.request({"op": "close"})
+        except Exception:
+            pass  # best-effort goodbye; the socket teardown is what matters
+        self._closed = True
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,351 @@
+"""The wire server: a socket front-end speaking JSON lines.
+
+One TCP connection = one :class:`~repro.server.sessions.Session`.  Each
+request is a single JSON object on its own line; each response is one
+JSON object on its own line, either ``{"ok": true, ...}`` or
+``{"ok": false, "error": {"type": ..., "message": ...}}``.  A request
+that fails — bad JSON, unknown op, a query error — fails *that request
+only*: the connection stays up and the next line is processed normally.
+
+Supported ops: ``query``, ``explain``, ``begin``, ``commit``,
+``rollback``, ``insert``, ``create_table``, ``create_index``,
+``drop_table``, ``metrics``, ``ping``, ``close``.
+
+Queries and inserts are admitted through the
+:class:`~repro.server.admission.AdmissionController` (fair scheduling +
+shedding) and each query leases its governor budget from the server's
+global :class:`~repro.server.admission.ResourcePool`, so total memory and
+row consumption stays bounded no matter how many connections are open.
+
+Values that JSON cannot carry natively (dates) are tagged on the wire as
+``{"__date__": "YYYY-MM-DD"}`` and reconstructed by the client, so
+results round-trip bit-identically.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import socket
+import threading
+from typing import Any, Optional
+
+from .. import faultinject
+from ..algebra.datatypes import DataType
+from ..errors import ProtocolError, ReproError, ServerError
+from .admission import (AdmissionController, DEFAULT_MAX_QUEUE_DEPTH,
+                        DEFAULT_MAX_WORKERS, ResourcePool)
+
+_DTYPES = {d.value: d for d in DataType}
+
+
+# -- value codec (shared with the client) ------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__date__"}:
+        return datetime.date.fromisoformat(value["__date__"])
+    return value
+
+
+def encode_row(row) -> list:
+    return [encode_value(v) for v in row]
+
+
+def decode_row(row) -> tuple:
+    return tuple(decode_value(v) for v in row)
+
+
+def error_payload(exc: BaseException) -> dict:
+    payload = {"type": type(exc).__name__, "message": str(exc)}
+    # ServerOverloaded carries structured back-pressure detail the client
+    # can use to decide whether/when to retry.
+    for attr in ("reason", "limit", "pending"):
+        if hasattr(exc, attr):
+            payload[attr] = getattr(exc, attr)
+    return payload
+
+
+class QueryServer:
+    """A concurrent query service over one shared database.
+
+    ::
+
+        server = QueryServer(db, max_workers=8)
+        server.start()              # background accept loop
+        host, port = server.address
+        ...
+        server.stop()
+
+    Also usable as a context manager (``with QueryServer(db) as server:``).
+    """
+
+    def __init__(self, database, host: str = "127.0.0.1", port: int = 0,
+                 max_workers: int = DEFAULT_MAX_WORKERS,
+                 max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                 pool_memory_rows: Optional[int] = None,
+                 pool_row_budget: Optional[int] = None,
+                 query_memory_rows: Optional[int] = None,
+                 query_row_budget: Optional[int] = None,
+                 lease_timeout: float = 5.0,
+                 request_timeout: Optional[float] = 30.0,
+                 lock_timeout: float = 5.0) -> None:
+        self.database = database
+        self.admission = AdmissionController(max_workers, max_queue_depth)
+        self.pool = ResourcePool(pool_memory_rows, pool_row_budget)
+        #: Per-query lease request; defaults to an even split of the pool
+        #: across the worker count so full concurrency is always grantable.
+        self.query_memory_rows = (
+            query_memory_rows if query_memory_rows is not None
+            else (pool_memory_rows // max_workers if pool_memory_rows
+                  else None))
+        self.query_row_budget = (
+            query_row_budget if query_row_budget is not None
+            else (pool_row_budget // max_workers if pool_row_budget
+                  else None))
+        self.lease_timeout = lease_timeout
+        self.request_timeout = request_timeout
+        self.lock_timeout = lock_timeout
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        if self._accept_thread is not None:
+            raise ServerError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="wire-accept")
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self._listener.close()
+        with self._lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self.admission.shutdown()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- accept / connection loops -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us during stop()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True,
+                name="wire-conn")
+            with self._lock:
+                self._conn_threads.append(thread)
+                self._conn_threads = [t for t in self._conn_threads
+                                      if t.is_alive()]
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session = self.database.session(lock_timeout=self.lock_timeout)
+        reader = conn.makefile("rb")
+        try:
+            while not self._stopping.is_set():
+                line = reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                response, keep_open = self._handle_line(session, line)
+                conn.sendall(json.dumps(response).encode() + b"\n")
+                if not keep_open:
+                    return
+        except (OSError, ValueError):
+            pass  # client went away mid-write; the session cleanup below runs
+        finally:
+            reader.close()
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+            session.close()
+
+    def _handle_line(self, session, line: bytes) -> tuple[dict, bool]:
+        try:
+            faultinject.hit("wire.decode")
+            request = json.loads(line)
+            if not isinstance(request, dict) or "op" not in request:
+                raise ProtocolError(
+                    "request must be a JSON object with an 'op' field")
+        except ProtocolError as exc:
+            return {"ok": False, "error": error_payload(exc)}, True
+        except Exception as exc:
+            return {"ok": False, "error": error_payload(
+                ProtocolError(f"undecodable request: {exc}"))}, True
+        try:
+            return self._dispatch(session, request), True
+        except ReproError as exc:
+            return {"ok": False, "error": error_payload(exc)}, True
+        except Exception as exc:  # defensive: one bad request, not the server
+            return {"ok": False, "error": error_payload(
+                ServerError(f"internal error: {exc}"))}, True
+
+    # -- request dispatch ----------------------------------------------------------
+
+    def _dispatch(self, session, request: dict) -> dict:
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        return handler(session, request)
+
+    def _op_ping(self, session, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    def _op_close(self, session, request: dict) -> dict:
+        # The connection loop sees closed=True via the session and the
+        # client drops the socket after this response.
+        return {"ok": True, "closed": True}
+
+    def _op_query(self, session, request: dict) -> dict:
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("query requires a string 'sql' field")
+        params = request.get("params")
+        if params is not None and isinstance(params, list):
+            params = [decode_value(v) for v in params]
+        elif params is not None and isinstance(params, dict):
+            params = {k: decode_value(v) for k, v in params.items()}
+        engine = request.get("engine")
+        mode = request.get("mode")
+
+        def run():
+            with self.pool.lease(self.query_memory_rows,
+                                 self.query_row_budget,
+                                 timeout=self.lease_timeout) as lease:
+                return session.execute(
+                    sql, params, mode=mode, engine=engine,
+                    row_budget=lease.row_budget,
+                    memory_budget=lease.memory_rows)
+
+        result = self.admission.run(session.session_id, run,
+                                    timeout=self.request_timeout)
+        return {
+            "ok": True,
+            "columns": result.names,
+            "types": [t.value for t in result.types],
+            "rows": [encode_row(row) for row in result.rows],
+            "degraded": result.degraded,
+            "elapsed_seconds": result.stats.elapsed_seconds,
+        }
+
+    def _op_explain(self, session, request: dict) -> dict:
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("explain requires a string 'sql' field")
+        text = session.explain(sql, mode=request.get("mode"),
+                               costs=bool(request.get("costs", False)))
+        return {"ok": True, "plan": text}
+
+    def _op_insert(self, session, request: dict) -> dict:
+        table = request.get("table")
+        rows = request.get("rows")
+        if not isinstance(table, str) or not isinstance(rows, list):
+            raise ProtocolError(
+                "insert requires a string 'table' and a list 'rows'")
+        decoded = [
+            {k: decode_value(v) for k, v in row.items()}
+            if isinstance(row, dict) else decode_row(row)
+            for row in rows]
+        count = self.admission.run(
+            session.session_id, lambda: session.insert(table, decoded),
+            timeout=self.request_timeout)
+        return {"ok": True, "inserted": count}
+
+    def _op_begin(self, session, request: dict) -> dict:
+        session.begin()
+        return {"ok": True}
+
+    def _op_commit(self, session, request: dict) -> dict:
+        session.commit()
+        return {"ok": True}
+
+    def _op_rollback(self, session, request: dict) -> dict:
+        session.rollback()
+        return {"ok": True}
+
+    def _op_create_table(self, session, request: dict) -> dict:
+        name = request.get("name")
+        columns = request.get("columns")
+        if not isinstance(name, str) or not isinstance(columns, list):
+            raise ProtocolError(
+                "create_table requires a string 'name' and a list "
+                "'columns' of [name, type] or [name, type, nullable]")
+        specs = []
+        for spec in columns:
+            if (not isinstance(spec, list) or len(spec) not in (2, 3)
+                    or spec[1] not in _DTYPES):
+                raise ProtocolError(f"bad column spec {spec!r}")
+            specs.append((spec[0], _DTYPES[spec[1]], *spec[2:]))
+        session.create_table(name, specs,
+                             primary_key=request.get("primary_key", ()),
+                             unique_keys=request.get("unique_keys", ()))
+        return {"ok": True}
+
+    def _op_create_index(self, session, request: dict) -> dict:
+        for field in ("name", "table", "columns"):
+            if field not in request:
+                raise ProtocolError(f"create_index requires {field!r}")
+        session.create_index(request["name"], request["table"],
+                             request["columns"],
+                             kind=request.get("kind", "hash"))
+        return {"ok": True}
+
+    def _op_drop_table(self, session, request: dict) -> dict:
+        name = request.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError("drop_table requires a string 'name'")
+        session.drop_table(name)
+        return {"ok": True}
+
+    def _op_metrics(self, session, request: dict) -> dict:
+        return {"ok": True, "metrics": self.metrics()}
+
+    # -- observability -------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """One flat snapshot of server health for dashboards and tests."""
+        admission = self.admission.metrics()
+        cache = self.database.plan_cache.stats
+        return {
+            "admission": admission,
+            "shed": admission["shed"],
+            "open_sessions": self.database.open_session_count,
+            "plan_cache": cache.as_dict(),
+            "plan_cache_hit_rate": cache.hit_rate,
+            "resource_pool": self.pool.available(),
+            "data_version": self.database.storage.data_version,
+        }

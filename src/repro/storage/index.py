@@ -40,6 +40,13 @@ class HashIndex:
         for position, row in enumerate(rows):
             self.insert(row, position)
 
+    def clone(self) -> "HashIndex":
+        """An independent copy (for copy-on-write table versions)."""
+        new = HashIndex(self.positions)
+        new._buckets = {key: list(positions)
+                        for key, positions in self._buckets.items()}
+        return new
+
     def __len__(self) -> int:
         return sum(len(b) for b in self._buckets.values())
 
@@ -116,6 +123,13 @@ class OrderedIndex:
         for position, row in enumerate(rows):
             self.insert(row, position)
         self._sorted = False
+
+    def clone(self) -> "OrderedIndex":
+        """An independent copy (for copy-on-write table versions)."""
+        new = OrderedIndex(self.positions)
+        new._entries = list(self._entries)
+        new._sorted = self._sorted
+        return new
 
     def __len__(self) -> int:
         return len(self._entries)

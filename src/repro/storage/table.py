@@ -1,14 +1,27 @@
-"""In-memory row store.
+"""In-memory row store with copy-on-write table versions.
 
 Rows are Python tuples in declaration order.  The store validates types and
 NOT NULL constraints on insert, enforces primary/unique keys through hash
 indexes, and maintains any secondary indexes declared in the catalog.
+
+Concurrency model (the substrate of :mod:`repro.server` snapshot
+isolation): a :class:`StoredTable` is one *version* of a table's data.
+Committed writes never mutate an installed version in place — they
+:meth:`~StoredTable.clone` it, apply the changes to the private copy and
+atomically *install* the copy as the new current version
+(:meth:`Storage.install`), serialized by a per-table writer lock
+(:meth:`Storage.writer_lock`).  Readers pin an immutable view of all
+current versions with :meth:`Storage.snapshot`; anything they pinned stays
+valid and unchanged for as long as they hold it, no matter how many
+writers commit after them.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+from .. import faultinject
 from ..algebra.datatypes import value_matches_type
 from ..catalog.catalog import IndexDef, TableDef
 from ..catalog.statistics import TableStats, compute_table_stats
@@ -159,6 +172,26 @@ class StoredTable:
                 return index
         return None
 
+    # -- versioning ---------------------------------------------------------------
+
+    def clone(self) -> "StoredTable":
+        """An independent copy-on-write successor of this version.
+
+        The row list and every index are copied, so inserts into the
+        clone are invisible to readers of this version.  Statistics and
+        the columnar cache are shared until the clone's first insert
+        drops them (they describe identical data at clone time).
+        """
+        new = StoredTable.__new__(StoredTable)
+        new.definition = self.definition
+        new.rows = list(self.rows)
+        new._indexes = {name: index.clone()
+                        for name, index in self._indexes.items()}
+        new._key_indexes = [index.clone() for index in self._key_indexes]
+        new._stats_cache = self._stats_cache
+        new._columns_cache = self._columns_cache
+        return new
+
     # -- statistics ---------------------------------------------------------------
 
     def statistics(self) -> TableStats:
@@ -168,19 +201,67 @@ class StoredTable:
         return self._stats_cache
 
 
+class StorageSnapshot:
+    """An immutable view of table versions pinned at one instant.
+
+    Satisfies the reader protocol executors use (``get``), so a query can
+    run entirely against the snapshot while writers install new versions
+    in the owning :class:`Storage`.  ``data_version`` is the storage's
+    commit counter at pin time.
+    """
+
+    __slots__ = ("_tables", "data_version")
+
+    def __init__(self, tables: Mapping[str, StoredTable],
+                 data_version: int) -> None:
+        self._tables = dict(tables)
+        self.data_version = data_version
+
+    def get(self, name: str) -> StoredTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ExecutionError(
+                f"no storage for table {name!r} in this snapshot") from None
+
+    def get_or_none(self, name: str) -> StoredTable | None:
+        return self._tables.get(name.lower())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+
 class Storage:
-    """All stored tables of one database."""
+    """All stored tables of one database, versioned copy-on-write.
+
+    The table map is guarded by an internal lock; individual installed
+    :class:`StoredTable` versions are treated as immutable by committed
+    writers (see the module docstring).  ``data_version`` counts installs
+    — every committed write bumps it, which is what lets the plan cache
+    and session machinery notice data movement cheaply.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, StoredTable] = {}
+        self._lock = threading.RLock()
+        # Plain (non-reentrant) locks, deliberately: two transactions
+        # driven by the same thread must still conflict rather than both
+        # "holding" the lock, and a server may acquire on a worker thread
+        # and release on the connection thread at commit.
+        self._writer_locks: dict[str, threading.Lock] = {}
+        self.data_version = 0
 
     def create(self, definition: TableDef) -> StoredTable:
         key = definition.name.lower()
-        if key in self._tables:
-            raise ExecutionError(f"storage for {definition.name!r} exists")
-        table = StoredTable(definition)
-        self._tables[key] = table
-        return table
+        with self._lock:
+            if key in self._tables:
+                raise ExecutionError(
+                    f"storage for {definition.name!r} exists")
+            table = StoredTable(definition)
+            self._tables[key] = table
+            self._writer_locks.setdefault(key, threading.Lock())
+            self.data_version += 1
+            return table
 
     def get(self, name: str) -> StoredTable:
         try:
@@ -189,4 +270,75 @@ class Storage:
             raise ExecutionError(f"no storage for table {name!r}") from None
 
     def drop(self, name: str) -> None:
-        self._tables.pop(name.lower(), None)
+        with self._lock:
+            self._tables.pop(name.lower(), None)
+            self._writer_locks.pop(name.lower(), None)
+            self.data_version += 1
+
+    # -- concurrency --------------------------------------------------------------
+
+    def snapshot(self) -> StorageSnapshot:
+        """Pin the current version of every table (readers' entry point)."""
+        with self._lock:
+            return StorageSnapshot(self._tables, self.data_version)
+
+    def writer_lock(self, name: str) -> threading.Lock:
+        """The single-writer-per-table lock serializing installs."""
+        key = name.lower()
+        with self._lock:
+            if key not in self._tables:
+                raise ExecutionError(
+                    f"no storage for table {name!r}")
+            return self._writer_locks.setdefault(key, threading.Lock())
+
+    def install(self, name: str, table: StoredTable) -> None:
+        """Atomically publish ``table`` as the current version of ``name``.
+
+        Callers must hold the table's writer lock.
+        """
+        self.install_many({name: table})
+
+    def install_many(self, tables: Mapping[str, StoredTable]) -> None:
+        """Atomically publish new versions for several tables at once
+        (one transaction commit = one install, one version bump).
+
+        Callers must hold every affected table's writer lock.  The
+        injection point fires *before* the map is touched and the
+        existence check covers every table before any is swapped, so a
+        failed commit installs nothing — readers see either all of the
+        transaction's versions or none of them.
+        """
+        faultinject.hit("snapshot.install")
+        with self._lock:
+            keys = {name.lower(): table for name, table in tables.items()}
+            for key in keys:
+                if key not in self._tables:
+                    raise ExecutionError(f"no storage for table {key!r}")
+            for key, table in keys.items():
+                self._tables[key] = table
+            self.data_version += 1
+
+    def apply_insert(self, name: str,
+                     rows: Iterable[Sequence[Any] | Mapping[str, Any]]
+                     ) -> int:
+        """Copy-on-write autocommit insert: clone, insert, install.
+
+        Constraint violations raise before anything is installed, so a
+        failed batch leaves the table exactly as it was (all-or-nothing),
+        and concurrent readers holding snapshots never observe a
+        partially-applied batch.
+        """
+        lock = self.writer_lock(name)
+        with lock:
+            version = self.get(name).clone()
+            count = version.insert_many(rows)
+            self.install(name, version)
+            return count
+
+    def apply_add_index(self, name: str, index_def: IndexDef) -> None:
+        """Copy-on-write index creation (DDL autocommits)."""
+        lock = self.writer_lock(name)
+        with lock:
+            version = self.get(name).clone()
+            version.add_index(index_def)
+            self.install(name, version)

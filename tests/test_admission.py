@@ -1,0 +1,153 @@
+"""Admission controller and resource pool behaviour."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError, ServerOverloaded
+from repro.server import AdmissionController, ResourcePool
+
+
+class TestAdmission:
+    def test_runs_submitted_work(self):
+        with AdmissionController(max_workers=2) as admission:
+            assert admission.run("s1", lambda: 40 + 2) == 42
+
+    def test_exception_delivered_to_caller_only(self):
+        with AdmissionController(max_workers=1) as admission:
+            with pytest.raises(ValueError):
+                admission.run("s1", lambda: (_ for _ in ()).throw(
+                    ValueError("boom")))
+            # The worker that ran the failing job is still alive.
+            assert admission.run("s1", lambda: "ok") == "ok"
+            assert admission.metrics()["failed"] == 1
+
+    def test_sheds_when_queue_full(self):
+        gate = threading.Event()
+        admission = AdmissionController(max_workers=1, max_queue_depth=2)
+        try:
+            blocker = admission.submit("s1", gate.wait)
+            deadline = time.monotonic() + 5
+            while (admission.metrics()["active"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)  # wait for the worker to pick it up
+            jobs = [admission.submit("s1", lambda: None) for _ in range(2)]
+            with pytest.raises(ServerOverloaded) as excinfo:
+                admission.submit("s1", lambda: None)
+            assert excinfo.value.limit == 2
+            assert admission.shed_count == 1
+            gate.set()
+            blocker.result(timeout=5)
+            for job in jobs:
+                job.result(timeout=5)
+        finally:
+            gate.set()
+            admission.shutdown()
+
+    def test_fair_round_robin_across_sessions(self):
+        """With one worker, a burst from session A queued before a lone
+        job from session B must not starve B: the rotation alternates, so
+        B runs after at most one more A job."""
+        gate = threading.Event()
+        order: list[str] = []
+        admission = AdmissionController(max_workers=1, max_queue_depth=32)
+        try:
+            blocker = admission.submit("warm", gate.wait)
+            deadline = time.monotonic() + 5
+            while (admission.metrics()["active"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            a_jobs = [admission.submit("a", lambda i=i: order.append(f"a{i}"))
+                      for i in range(4)]
+            b_job = admission.submit("b", lambda: order.append("b0"))
+            gate.set()
+            blocker.result(timeout=5)
+            for job in a_jobs:
+                job.result(timeout=5)
+            b_job.result(timeout=5)
+            assert order.index("b0") <= 1
+        finally:
+            gate.set()
+            admission.shutdown()
+
+    def test_shutdown_fails_queued_jobs(self):
+        gate = threading.Event()
+        admission = AdmissionController(max_workers=1, max_queue_depth=8)
+        blocker = admission.submit("s1", gate.wait)
+        deadline = time.monotonic() + 5
+        while (admission.metrics()["active"] == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.01)  # the worker must hold the blocker first
+        queued = admission.submit("s1", lambda: "never")
+        admission.shutdown(wait=False)
+        with pytest.raises(ServerError):
+            queued.result(timeout=5)
+        gate.set()
+        blocker.result(timeout=5)
+        with pytest.raises(ServerError):
+            admission.submit("s1", lambda: None)
+
+    def test_metrics_counts(self):
+        with AdmissionController(max_workers=2) as admission:
+            for _ in range(5):
+                admission.run("s1", lambda: None)
+            metrics = admission.metrics()
+            assert metrics["completed"] == 5
+            assert metrics["queue_depth"] == 0
+            assert metrics["shed"] == 0
+
+
+class TestResourcePool:
+    def test_unmetered_pool_grants_everything(self):
+        pool = ResourcePool()
+        with pool.lease(memory_rows=10**9, row_budget=10**9) as lease:
+            assert lease.memory_rows == 10**9
+
+    def test_lease_and_release_roundtrip(self):
+        pool = ResourcePool(memory_rows=100, row_budget=1000)
+        lease = pool.lease(memory_rows=60, row_budget=600)
+        assert pool.available() == {"memory_rows": 40, "row_budget": 400}
+        lease.release()
+        assert pool.available() == {"memory_rows": 100, "row_budget": 1000}
+        lease.release()  # idempotent
+        assert pool.available() == {"memory_rows": 100, "row_budget": 1000}
+
+    def test_requests_clamped_to_pool_total(self):
+        pool = ResourcePool(memory_rows=50)
+        with pool.lease(memory_rows=500) as lease:
+            assert lease.memory_rows == 50
+
+    def test_exhausted_pool_sheds_after_timeout(self):
+        pool = ResourcePool(memory_rows=10)
+        holder = pool.lease(memory_rows=10)
+        with pytest.raises(ServerOverloaded):
+            pool.lease(memory_rows=10, timeout=0.05)
+        holder.release()
+        with pool.lease(memory_rows=10, timeout=0.05):
+            pass  # grantable again once released
+
+    def test_waiter_wakes_on_release(self):
+        pool = ResourcePool(row_budget=100)
+        holder = pool.lease(row_budget=100)
+        acquired = threading.Event()
+
+        def waiter() -> None:
+            with pool.lease(row_budget=50, timeout=5):
+                acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        holder.release()
+        thread.join(timeout=5)
+        assert acquired.is_set()
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePool(memory_rows=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_workers=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)

@@ -26,10 +26,15 @@ QUERIES = [
      "where a < 40 order by a"),
 ]
 
+#: Sites on the server path (sessions, admission, wire); they never fire
+#: during a plain ``db.execute`` and are exercised in TestServerChaos.
+SERVER_SITES = {"admission.enqueue", "snapshot.install", "wire.decode"}
+
 #: Sites whose failure is survivable — execute() degrades or shrugs and
 #: still returns correct rows.  ``executor.naive`` is the last rung of
 #: the ladder, so a fault there is allowed to surface as an error.
-RECOVERABLE_SITES = sorted(INJECTION_SITES - {"executor.naive"})
+RECOVERABLE_SITES = sorted(INJECTION_SITES - {"executor.naive"}
+                           - SERVER_SITES)
 
 #: Sites where recovery must mark the result degraded (the cost-based
 #: plan was abandoned).  Plan-cache faults are absorbed silently.
@@ -61,7 +66,8 @@ class TestSiteRegistry:
         assert INJECTION_SITES == {
             "optimizer.explore", "optimizer.memo", "optimizer.implement",
             "plancache.get", "plancache.put", "executor.open",
-            "executor.naive", "analyzer.check"}
+            "executor.naive", "analyzer.check", "admission.enqueue",
+            "snapshot.install", "wire.decode"}
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError):
@@ -190,6 +196,74 @@ class TestAnalyzerFaults:
         assert trigger.fired
         assert not result.degraded
         assert Counter(result.rows) == expected
+
+
+class TestServerChaos:
+    """Faults at the server-path sites: each takes down at most the one
+    request it struck, never the session, connection or server."""
+
+    def test_snapshot_install_fault_aborts_commit_atomically(self, db):
+        before = db.execute("select count(*) from t", NAIVE).scalar()
+        session = db.session()
+        session.begin()
+        session.insert("t", [(1000, 0), (1001, 1)])
+        with fail_at("snapshot.install", n=1):
+            with pytest.raises(InjectedFault):
+                session.commit()
+        # Nothing was installed and the writer lock was released: the
+        # next transaction proceeds normally.
+        assert db.execute("select count(*) from t", NAIVE).scalar() == before
+        session.begin()
+        session.insert("t", [(1000, 0)])
+        session.commit()
+        assert (db.execute("select count(*) from t", NAIVE).scalar()
+                == before + 1)
+        session.close()
+
+    def test_admission_enqueue_fault_fails_one_request_only(self, db):
+        from repro.server import QueryServer, ServerClient
+
+        with QueryServer(db, max_workers=2) as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                with fail_at("admission.enqueue", n=1):
+                    with pytest.raises(ReproError):
+                        client.query("select a from t where a < 3")
+                # Same connection, next request: served normally.
+                result = client.query(
+                    "select a from t where a < 3 order by a")
+                assert result.rows == [(0,), (1,), (2,)]
+
+    def test_wire_decode_fault_fails_one_request_only(self, db):
+        from repro.errors import ProtocolError
+        from repro.server import QueryServer, ServerClient
+
+        with QueryServer(db, max_workers=2) as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                with fail_at("wire.decode", n=1):
+                    with pytest.raises(ProtocolError):
+                        client.ping()
+                assert client.ping()  # connection survived the fault
+
+    def test_killed_worker_degrades_one_query_never_the_server(self, db):
+        from repro.server import QueryServer, ServerClient
+
+        with QueryServer(db, max_workers=2) as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                # A worker dying mid-query surfaces as executor faults;
+                # the engine degrades to the naive tier and still answers
+                # (or, at worst, errors that one request).
+                with fail_always("executor.open"):
+                    result = client.query(
+                        "select a from t where a < 3 order by a")
+                    assert result.degraded
+                    assert result.rows == [(0,), (1,), (2,)]
+                clean = client.query(
+                    "select a from t where a < 3 order by a")
+                assert not clean.degraded
+                assert server.metrics()["admission"]["completed"] >= 2
 
 
 class TestRandomChaos:

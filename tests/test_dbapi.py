@@ -107,11 +107,10 @@ class TestLifecycle:
         with pytest.raises(dbapi.InterfaceError):
             cur.fetchall()
 
-    def test_commit_is_noop_rollback_unsupported(self):
+    def test_commit_and_rollback_are_noops_in_autocommit(self):
         conn = make_connection()
         conn.commit()
-        with pytest.raises(dbapi.NotSupportedError):
-            conn.rollback()
+        conn.rollback()  # no transaction open: both are harmless no-ops
 
     def test_context_manager_closes(self):
         with make_connection() as conn:

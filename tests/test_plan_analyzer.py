@@ -485,7 +485,7 @@ def _shared_db():
 class TestAdmissionGate:
     def test_invalid_entry_is_refused(self, db):
         db.execute("select a from t where b > 1")
-        entry = next(iter(db.plan_cache._entries.values()))
+        entry = db.plan_cache.entries()[0]
         stray = Column("stray", DataType.INTEGER)
         bad_plan = PFilter(entry.plan, equals(stray, Literal(1)))
         from dataclasses import replace

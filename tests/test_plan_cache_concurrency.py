@@ -1,0 +1,108 @@
+"""Concurrency hammer for the lock-striped plan cache.
+
+Regression for the unguarded-OrderedDict races the single-threaded cache
+had: concurrent get (LRU ``move_to_end``) and put (insert + evict) used
+to corrupt the dict or raise ``RuntimeError: OrderedDict mutated during
+iteration``.  The striped cache must survive a sustained multi-thread
+mix of hits, misses, inserts and invalidations with consistent counters
+and the capacity invariant intact.
+"""
+
+import threading
+
+import pytest
+
+from repro import Database, DataType
+from repro.plancache import CachedPlan, PlanCache
+from repro.stats_version import StatsSnapshot
+
+THREADS = 8
+OPS_PER_THREAD = 400
+
+
+def make_entry(i: int, catalog_version: int = 0) -> CachedPlan:
+    return CachedPlan(
+        sql_key=f"select-{i}", mode_name="full",
+        catalog_version=catalog_version, names=["a"], types=[None],
+        parameters=(), plan=None, rel=None, executable=None,
+        snapshot=StatsSnapshot({}), table_names=frozenset({"t"}))
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_hammer_get_put_invalidate(shards):
+    cache = PlanCache(capacity=32, shards=shards)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS)
+
+    def worker(seed: int) -> None:
+        try:
+            barrier.wait()
+            for step in range(OPS_PER_THREAD):
+                i = (seed * OPS_PER_THREAD + step) % 64
+                op = (seed + step) % 10
+                if op < 4:
+                    cache.get(f"select-{i}", "full", 0)
+                elif op < 8:
+                    cache.put(make_entry(i))
+                elif op == 8:
+                    len(cache)
+                else:
+                    cache.invalidate("t" if step % 2 else None)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,))
+               for n in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors, errors
+    assert len(cache) <= 32
+    stats = cache.stats
+    assert stats.hits + stats.misses > 0
+    assert stats.hit_rate == stats.hits / (stats.hits + stats.misses)
+
+
+def test_hammer_through_database_execute():
+    """End-to-end: concurrent sessions running the same query set must
+    share cached plans without corruption and converge to a high hit
+    rate."""
+    db = Database(plan_cache_shards=4)
+    db.create_table("t", [("a", DataType.INTEGER, False),
+                          ("b", DataType.INTEGER, False)],
+                    primary_key=("a",))
+    db.insert("t", [(i, i % 5) for i in range(100)])
+    queries = [
+        "select a from t where b = 1 order by a",
+        "select b, count(*) from t group by b order by b",
+        "select a from t where a < 10 order by a",
+        "select max(a) from t",
+    ]
+    expected = {sql: db.execute(sql).rows for sql in queries}
+    db.plan_cache.stats.reset()  # measure the hit rate after warm-up
+
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS)
+
+    def worker(seed: int) -> None:
+        try:
+            barrier.wait()
+            session = db.session()
+            for step in range(60):
+                sql = queries[(seed + step) % len(queries)]
+                result = session.execute(sql)
+                assert result.rows == expected[sql]
+            session.close()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,))
+               for n in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    stats = db.plan_cache.stats
+    assert stats.hit_rate >= 0.9

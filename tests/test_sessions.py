@@ -1,0 +1,208 @@
+"""Session API: transactions, visibility, conflicts, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro import Database, DataType
+from repro.errors import (ExecutionError, SessionClosed, TransactionConflict,
+                          TransactionError)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", DataType.INTEGER, False),
+                                ("b", DataType.INTEGER, False)],
+                          primary_key=("a",))
+    database.insert("t", [(i, i % 3) for i in range(10)])
+    return database
+
+
+class TestAutocommit:
+    def test_statements_see_committed_data(self, db):
+        with db.session() as session:
+            assert session.execute("select count(*) from t").scalar() == 10
+            session.insert("t", [(100, 0)])
+            assert session.execute("select count(*) from t").scalar() == 11
+
+    def test_sessions_register_and_deregister(self, db):
+        assert db.open_session_count == 0
+        s1, s2 = db.session(), db.session()
+        assert db.open_session_count == 2
+        s1.close(); s2.close()
+        assert db.open_session_count == 0
+
+    def test_stats_accumulate(self, db):
+        with db.session() as session:
+            session.execute("select a from t where b = 0 order by a")
+            session.insert("t", [(50, 1)])
+            assert session.stats.queries == 1
+            assert session.stats.rows_returned == 4
+            assert session.stats.rows_inserted == 1
+
+
+class TestTransactions:
+    def test_read_your_own_writes_hidden_from_others(self, db):
+        writer, reader = db.session(), db.session()
+        writer.begin()
+        writer.insert("t", [(100, 9)])
+        assert writer.execute("select count(*) from t").scalar() == 11
+        assert reader.execute("select count(*) from t").scalar() == 10
+        writer.commit()
+        assert reader.execute("select count(*) from t").scalar() == 11
+        writer.close(); reader.close()
+
+    def test_rollback_discards_writes(self, db):
+        with db.session() as session:
+            session.begin()
+            session.insert("t", [(100, 9)])
+            session.rollback()
+            assert session.execute("select count(*) from t").scalar() == 10
+        assert session.stats.rollbacks == 1
+
+    def test_snapshot_pinned_at_begin(self, db):
+        reader = db.session()
+        reader.begin()
+        db.insert("t", [(100, 9)])  # concurrent autocommit
+        # The transaction still sees the world as of begin().
+        assert reader.execute("select count(*) from t").scalar() == 10
+        reader.commit()
+        assert reader.execute("select count(*) from t").scalar() == 11
+        reader.close()
+
+    def test_double_begin_rejected(self, db):
+        with db.session() as session:
+            session.begin()
+            with pytest.raises(TransactionError):
+                session.begin()
+            session.rollback()
+
+    def test_commit_without_begin_rejected(self, db):
+        with db.session() as session:
+            with pytest.raises(TransactionError):
+                session.commit()
+
+    def test_rollback_without_begin_is_noop(self, db):
+        with db.session() as session:
+            session.rollback()
+
+    def test_writer_conflict_detected(self, db):
+        first = db.session()
+        second = db.session(lock_timeout=0.1)
+        first.begin()
+        first.insert("t", [(100, 9)])
+        second.begin()
+        with pytest.raises(TransactionConflict):
+            second.insert("t", [(101, 9)])
+        assert second.stats.conflicts == 1
+        second.rollback(); second.close()
+        first.commit(); first.close()
+
+    def test_lock_released_after_commit(self, db):
+        first = db.session()
+        first.begin()
+        first.insert("t", [(100, 9)])
+        first.commit()
+        second = db.session(lock_timeout=0.5)
+        second.begin()
+        second.insert("t", [(101, 9)])
+        second.commit()
+        assert db.execute("select count(*) from t").scalar() == 12
+        first.close(); second.close()
+
+    def test_failed_statement_poisons_transaction(self, db):
+        with db.session() as session:
+            session.begin()
+            session.insert("t", [(100, 9)])
+            with pytest.raises(ExecutionError):
+                session.insert("t", [(1, 0)])  # duplicate primary key
+            with pytest.raises(TransactionError):
+                session.commit()
+            # The poisoned transaction rolled back: nothing landed.
+            assert session.execute("select count(*) from t").scalar() == 10
+
+    def test_multi_table_commit_is_atomic(self, db):
+        db.create_table("u", [("k", DataType.INTEGER, False)],
+                        primary_key=("k",))
+        version_before = db.storage.data_version
+        with db.session() as session:
+            session.begin()
+            session.insert("t", [(100, 9)])
+            session.insert("u", [(1,)])
+            session.commit()
+        # Both tables landed under a single version bump.
+        assert db.storage.data_version == version_before + 1
+        assert db.execute("select count(*) from u").scalar() == 1
+
+    def test_ddl_rejected_inside_transaction(self, db):
+        with db.session() as session:
+            session.begin()
+            with pytest.raises(TransactionError):
+                session.create_table("x", [("a", DataType.INTEGER)])
+            with pytest.raises(TransactionError):
+                session.drop_table("t")
+            session.rollback()
+
+    def test_concurrent_threads_conflict_cleanly(self, db):
+        """Two threads racing to write the same table: exactly one wins
+        immediately, the other either waits for the lock and then hits
+        first-committer-wins or times out — never a deadlock."""
+        barrier = threading.Barrier(2)
+        outcomes: list[str] = []
+
+        def contender(n: int) -> None:
+            session = db.session(lock_timeout=2.0)
+            session.begin()
+            barrier.wait()
+            try:
+                session.insert("t", [(200 + n, 0)])
+                session.commit()
+                outcomes.append("committed")
+            except TransactionConflict:
+                session.rollback()
+                outcomes.append("conflict")
+            finally:
+                session.close()
+
+        threads = [threading.Thread(target=contender, args=(n,))
+                   for n in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(outcomes) in (["committed", "committed"],
+                                    ["committed", "conflict"])
+        assert outcomes.count("committed") >= 1
+
+
+class TestLifecycle:
+    def test_closed_session_rejects_everything(self, db):
+        session = db.session()
+        session.close()
+        with pytest.raises(SessionClosed):
+            session.execute("select 1 from t")
+        with pytest.raises(SessionClosed):
+            session.begin()
+        session.close()  # idempotent
+
+    def test_close_rolls_back_open_transaction(self, db):
+        session = db.session()
+        session.begin()
+        session.insert("t", [(100, 9)])
+        session.close()
+        assert db.execute("select count(*) from t").scalar() == 10
+
+    def test_context_manager_commits_clean_exit(self, db):
+        with db.session() as session:
+            session.begin()
+            session.insert("t", [(100, 9)])
+        assert db.execute("select count(*) from t").scalar() == 11
+
+    def test_context_manager_rolls_back_on_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.session() as session:
+                session.begin()
+                session.insert("t", [(100, 9)])
+                raise RuntimeError("boom")
+        assert db.execute("select count(*) from t").scalar() == 10
