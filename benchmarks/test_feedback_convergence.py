@@ -1,0 +1,116 @@
+"""Drift convergence — the feedback loop repairs a skew-broken plan.
+
+Scenario: a Q17-shaped query (join plus correlated scalar aggregate)
+runs warm, then a bulk insert skews one part brand so badly that the
+uniform equality model under-estimates the filter by an order of
+magnitude.  The first post-drift execution observes the misestimate,
+records a cardinality correction and flags the cached plan stale; the
+next execution re-optimizes against the corrected statistics and the
+max Q-error collapses back under the staleness threshold.
+
+The run writes ``BENCH_feedback.json`` to the working directory — one
+record per execution (max Q-error, corrections stored, plans
+invalidated) plus the convergence summary — uploaded by CI.
+"""
+
+import json
+import pathlib
+
+from repro import DEFAULT_Q_ERROR_THRESHOLD, FULL, Database, DataType
+
+PARTS = 200
+BRANDS = 20
+SKEW_BRAND = 7
+SKEW_PARTS = 800          # bulk insert: brand 7 jumps from 5% to ~84%
+LINES_PER_PART = 3
+MAX_EXECUTIONS = 6        # convergence budget after the drift
+
+Q17_SHAPED = """
+select sum(l.qty)
+from lineitem l join part p on p.pk = l.partkey
+where p.brand = 7
+  and l.qty < (select 2 * avg(l2.qty) from lineitem l2
+               where l2.partkey = p.pk)
+"""
+
+
+def build_database() -> Database:
+    db = Database(feedback=True)
+    db.create_table("part", [("pk", DataType.INTEGER, False),
+                             ("brand", DataType.INTEGER, False)],
+                    primary_key=("pk",))
+    db.create_table("lineitem", [("lk", DataType.INTEGER, False),
+                                 ("partkey", DataType.INTEGER, False),
+                                 ("qty", DataType.INTEGER, False)],
+                    primary_key=("lk",))
+    db.insert("part", [(i, i % BRANDS) for i in range(PARTS)])
+    db.insert("lineitem",
+              [(p * LINES_PER_PART + j, p, (p + j) % 10 + 1)
+               for p in range(PARTS) for j in range(LINES_PER_PART)])
+    return db
+
+
+def test_feedback_converges_after_drift():
+    db = build_database()
+    threshold = db.feedback.q_error_threshold
+    assert threshold == DEFAULT_Q_ERROR_THRESHOLD
+
+    warm = db.execute(Q17_SHAPED, FULL)
+    assert not warm.degraded
+
+    # Bulk-insert skew: most parts now carry the probed brand, plus
+    # matching lineitems so the join stays selective the same way.
+    db.insert("part", [(PARTS + i, SKEW_BRAND) for i in range(SKEW_PARTS)])
+    db.insert("lineitem",
+              [((PARTS + i) * LINES_PER_PART + j, PARTS + i,
+                (i + j) % 10 + 1)
+               for i in range(SKEW_PARTS) for j in range(LINES_PER_PART)])
+
+    executions = []
+    converged_after = None
+    for iteration in range(1, MAX_EXECUTIONS + 1):
+        result = db.execute(Q17_SHAPED, FULL)
+        q = result.stats.max_q_error
+        executions.append({
+            "iteration": iteration,
+            "max_q_error": q,
+            "corrections_stored": len(db.corrections),
+            "plans_invalidated": db.feedback.plans_invalidated,
+            "rows": len(result.rows),
+        })
+        if converged_after is None and q is not None and q <= threshold:
+            converged_after = iteration
+
+    report = {
+        "benchmark": "feedback_convergence",
+        "q_error_threshold": threshold,
+        "skew": {"parts_before": PARTS, "parts_inserted": SKEW_PARTS,
+                 "brand": SKEW_BRAND},
+        "executions": executions,
+        "converged_after": converged_after,
+        "feedback": db.feedback.as_dict(),
+    }
+    out = pathlib.Path("BENCH_feedback.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"{'run':>4} {'max q-error':>12} {'corrections':>12} "
+          f"{'invalidated':>12}")
+    for record in executions:
+        q = record["max_q_error"]
+        print(f"{record['iteration']:>4} "
+              f"{q if q is None else format(q, '12.2f'):>12} "
+              f"{record['corrections_stored']:>12} "
+              f"{record['plans_invalidated']:>12}")
+    print(f"converged after {converged_after} execution(s); "
+          f"report: {out}")
+
+    # The drifted estimate really was wrong past the threshold ...
+    assert executions[0]["max_q_error"] > threshold
+    # ... the stale plan was invalidated and replanned ...
+    assert db.feedback.plans_invalidated >= 1
+    assert db.plan_cache.stats.feedback_stale >= 1
+    # ... and the loop converged within budget to an accurate plan.
+    assert converged_after is not None, "never converged"
+    assert converged_after <= MAX_EXECUTIONS
+    assert executions[-1]["max_q_error"] <= threshold

@@ -20,9 +20,12 @@ Quickstart::
 """
 
 from .algebra import DataType, Interval
+from .catalog.statistics import CardinalityCorrection, CorrectionStore
 from .database import (CORRELATED, DECORRELATE_ONLY, ENGINES, FULL, MODES,
-                       NAIVE, Database, ExecutionMode, PreparedStatement,
-                       QueryResult)
+                       NAIVE, Database, ExecutionMode, ExplainOptions,
+                       PreparedStatement, QueryResult)
+from .feedback import (DEFAULT_Q_ERROR_THRESHOLD, FeedbackLoop,
+                       NodeFeedback, PlanFeedback, q_error)
 from .errors import (BindError, CatalogError, ExecutionError,
                      InjectedFault, OptimizerBudgetExceeded,
                      ParameterError, PlanError, ProtocolError,
@@ -37,17 +40,22 @@ from .plancache import PlanCache
 # keeps the import graph acyclic.
 from .server import QueryServer, ServerClient, Session
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
-__all__ = ["BindError", "CORRELATED", "CatalogError", "DECORRELATE_ONLY",
+__all__ = ["BindError", "CORRELATED", "CardinalityCorrection",
+           "CatalogError", "CorrectionStore", "DECORRELATE_ONLY",
+           "DEFAULT_Q_ERROR_THRESHOLD",
            "DataType", "Database", "ENGINES", "ExecutionError",
-           "ExecutionMode",
+           "ExecutionMode", "ExplainOptions", "FeedbackLoop",
            "FULL", "InjectedFault", "Interval", "MODES", "NAIVE",
+           "NodeFeedback",
            "OptimizerBudget", "OptimizerBudgetExceeded", "ParameterError",
-           "PlanCache", "PlanError", "PreparedStatement", "ProtocolError",
+           "PlanCache", "PlanError", "PlanFeedback",
+           "PreparedStatement", "ProtocolError",
            "QueryResult", "QueryServer",
            "QueryStats", "QueryTimeout", "ReproError", "ResourceError",
            "ResourceExhausted", "ResourceGovernor", "ServerClient",
            "ServerError", "ServerOverloaded", "Session", "SessionClosed",
            "SqlSyntaxError", "SubqueryReturnedMultipleRows",
-           "TransactionConflict", "TransactionError", "__version__"]
+           "TransactionConflict", "TransactionError", "__version__",
+           "q_error"]

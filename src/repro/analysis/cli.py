@@ -19,9 +19,8 @@ from typing import Iterable
 
 from ..algebra import explain
 from ..core.normalize import normalize
-from ..database import Database
+from ..database import Database, ExplainOptions
 from ..errors import ReproError
-from ..physical import explain_physical
 from ..tpch.schema import create_tpch_schema
 from .invariants import verify_logical
 from .issues import AnalysisIssue, render_issues
@@ -40,31 +39,39 @@ def split_statements(text: str) -> list[str]:
 
 def lint_statement(db: Database, sql: str, *,
                    explain_out: bool = False,
+                   explain_options: ExplainOptions | None = None,
                    out=sys.stdout) -> list[AnalysisIssue]:
-    """Check one statement at every pipeline stage; returns all issues."""
+    """Check one statement at every pipeline stage; returns all issues.
+
+    ``explain_options`` (or the legacy ``explain_out=True``, equivalent
+    to default options) also prints the bound tree and then the unified
+    :meth:`Database.explain` rendering — the same output every other
+    explain entry point produces.
+    """
     from ..sql import parse
 
+    if explain_out and explain_options is None:
+        explain_options = ExplainOptions()
     mode = db._resolve_mode("full")
     issues: list[AnalysisIssue] = []
 
-    def stage(name: str, found: list[AnalysisIssue], rendering: str) -> None:
+    def stage(name: str, found: list[AnalysisIssue]) -> None:
         issues.extend(found)
-        if explain_out:
-            print(f"-- {name} --", file=out)
-            print(rendering, file=out)
         if found:
             print(f"{name}:", file=out)
             print(render_issues(found), file=out)
 
     bound = db._binder.bind(parse(sql))
-    stage("bound", verify_logical(bound.rel, allow_subqueries=True),
-          explain(bound.rel))
+    stage("bound", verify_logical(bound.rel, allow_subqueries=True))
     normalized = normalize(bound.rel, mode.normalize_config)
-    stage("normalized", verify_logical(normalized), explain(normalized))
+    stage("normalized", verify_logical(normalized))
     plan = db._optimizer(mode).optimize(normalized)
     stage("physical",
-          verify_physical(plan, index_provider=db._index_provider),
-          explain_physical(plan))
+          verify_physical(plan, index_provider=db._index_provider))
+    if explain_options is not None:
+        print("-- bound --", file=out)
+        print(explain(bound.rel), file=out)
+        print(db.explain(sql, mode, options=explain_options), file=out)
     return issues
 
 
@@ -87,9 +94,19 @@ def main(argv: list[str] | None = None) -> int:
                         help=".sql files to check ('-' or none: stdin)")
     parser.add_argument("--explain", action="store_true",
                         help="print the checked trees (EXPLAIN output)")
+    parser.add_argument("--explain-format", choices=("text", "dict"),
+                        default="text",
+                        help="EXPLAIN rendering (implies --explain)")
+    parser.add_argument("--costs", action="store_true",
+                        help="include optimizer cost estimates in "
+                             "EXPLAIN output (implies --explain)")
     parser.add_argument("--no-indexes", action="store_true",
                         help="build the TPC-H catalog without FK indexes")
     args = parser.parse_args(argv)
+    explain_options = None
+    if args.explain or args.costs or args.explain_format != "text":
+        explain_options = ExplainOptions(costs=args.costs,
+                                         format=args.explain_format)
 
     db = Database()
     create_tpch_schema(db, with_indexes=not args.no_indexes)
@@ -99,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         for number, sql in enumerate(split_statements(text), start=1):
             heading = f"{origin}:{number}"
             try:
-                found = lint_statement(db, sql, explain_out=args.explain)
+                found = lint_statement(db, sql,
+                                       explain_options=explain_options)
             except ReproError as exc:
                 print(f"{heading}: error: {exc}", file=sys.stderr)
                 failures += 1

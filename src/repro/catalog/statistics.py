@@ -4,13 +4,23 @@ The cost-based optimizer (paper Section 4: "the plan with cheapest estimated
 cost is selected") needs row counts, distinct-value counts and value ranges.
 Statistics are computed from stored data on demand and cached by the
 database facade.
+
+:class:`CorrectionStore` holds *runtime cardinality corrections*: actual
+row counts observed by the feedback loop (:mod:`repro.feedback`) for
+(table, predicate) pairs the static model mis-estimated.  The estimator
+consults them before falling back to the selectivity math, closing the
+optimize → execute → observe loop.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
+
+from ..stats_version import (DEFAULT_DRIFT_THRESHOLD, StatsSnapshot,
+                             drifted)
 
 
 @dataclass(frozen=True)
@@ -176,6 +186,99 @@ class TableStats:
 
     def __repr__(self) -> str:
         return f"TableStats(rows={self.row_count}, {len(self.columns)} columns)"
+
+
+@dataclass(frozen=True)
+class CardinalityCorrection:
+    """One observed (table, predicate) cardinality, with provenance.
+
+    ``estimated_rows`` is what the cost model predicted when the
+    observation was made, ``actual_rows`` what execution produced, and
+    ``q_error`` their max ratio.  ``snapshot`` pins the table sizes at
+    observation time (:mod:`repro.stats_version`): a correction is only
+    trusted while those sizes have not drifted — stale observations are
+    no better than stale statistics.
+    """
+
+    table: str
+    predicate_key: str
+    estimated_rows: float
+    actual_rows: int
+    q_error: float
+    snapshot: StatsSnapshot
+
+    def as_dict(self) -> dict:
+        return {"table": self.table, "predicate": self.predicate_key,
+                "estimated_rows": self.estimated_rows,
+                "actual_rows": self.actual_rows, "q_error": self.q_error}
+
+
+class CorrectionStore:
+    """Thread-safe map of ``(table, predicate_key)`` → latest correction.
+
+    ``row_count_of`` supplies current table sizes; a lookup whose stored
+    snapshot drifted beyond ``drift_threshold`` evicts the entry and
+    reports a miss (versioned invalidation via
+    :mod:`repro.stats_version`, same policy as the plan cache).
+    ``version`` increments on every accepted record, so observers can
+    cheaply detect that corrections changed.
+    """
+
+    def __init__(self,
+                 row_count_of: Callable[[str], int] | None = None,
+                 drift_threshold: float = DEFAULT_DRIFT_THRESHOLD) -> None:
+        self._entries: dict[tuple[str, str], CardinalityCorrection] = {}
+        self._lock = threading.Lock()
+        self._row_count_of = row_count_of
+        self.drift_threshold = drift_threshold
+        self.version = 0
+
+    def record(self, correction: CardinalityCorrection) -> None:
+        key = (correction.table.lower(), correction.predicate_key)
+        with self._lock:
+            self._entries[key] = correction
+            self.version += 1
+
+    def lookup(self, table: str,
+               predicate_key: str) -> CardinalityCorrection | None:
+        key = (table.lower(), predicate_key)
+        with self._lock:
+            found = self._entries.get(key)
+        if found is None:
+            return None
+        if self._row_count_of is not None and drifted(
+                found.snapshot, self._row_count_of, self.drift_threshold):
+            with self._lock:
+                # Only evict the exact observation we judged stale; a
+                # concurrent recorder may have installed a fresher one.
+                if self._entries.get(key) is found:
+                    del self._entries[key]
+            return None
+        return found
+
+    def invalidate(self, table: str | None = None) -> int:
+        """Drop corrections — all, or those for one table (DDL hook)."""
+        with self._lock:
+            if table is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                wanted = table.lower()
+                doomed = [k for k in self._entries if k[0] == wanted]
+                for k in doomed:
+                    del self._entries[k]
+                removed = len(doomed)
+            if removed:
+                self.version += 1
+        return removed
+
+    def entries(self) -> list[CardinalityCorrection]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 def compute_table_stats(column_names: Sequence[str],

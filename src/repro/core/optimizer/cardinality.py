@@ -9,6 +9,7 @@ plan alternatives, which is what the paper's cost-based choices rely on.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
@@ -18,7 +19,24 @@ from ...algebra import (Apply, ColumnRef, Comparison, ConstantScan,
                         Not, Or, Project, RelationalOp, ScalarGroupBy,
                         SegmentApply, SegmentRef, Select, Sort, Top,
                         UnionAll, conjuncts)
-from ...catalog.statistics import TableStats
+from ...catalog.statistics import CorrectionStore, TableStats
+
+_CID_SUFFIX = re.compile(r"#\d+")
+
+
+def predicate_fingerprint(predicate) -> str:
+    """A fingerprint of a predicate stable across compilations.
+
+    Column ids are assigned fresh at every bind, so the rendered
+    ``name#cid`` forms are normalized down to bare column names and the
+    conjuncts sorted — the same WHERE clause fingerprints identically
+    however often the statement is re-planned, which is what lets a
+    runtime correction recorded during one execution be found by the
+    optimizer during the next.
+    """
+    parts = sorted(_CID_SUFFIX.sub("", part.sql())
+                   for part in conjuncts(predicate))
+    return " AND ".join(parts)
 
 DEFAULT_EQ_SELECTIVITY = 0.1
 DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
@@ -43,6 +61,13 @@ class Estimate:
 
     rows: float
     columns: dict[int, ColumnEstimate] = field(default_factory=dict)
+    #: Base-table provenance: set only for an unfiltered table scan
+    #: (:class:`Get`) and deliberately dropped by every derivation
+    #: (``scaled`` and the operator cases construct fresh Estimates), so
+    #: a Select whose child estimate carries ``table`` is exactly a
+    #: filter directly over that table — the shape runtime corrections
+    #: are keyed on.
+    table: Optional[str] = None
 
     def ndv(self, cid: int) -> float:
         info = self.columns.get(cid)
@@ -74,10 +99,12 @@ class Estimator:
                  stats_provider: Callable[[str], Optional[TableStats]],
                  group_lookup: Callable[[Any], Estimate] | None = None,
                  segment_rows: Mapping[frozenset[int], Estimate] | None = None,
+                 corrections: CorrectionStore | None = None,
                  ) -> None:
         self._stats_provider = stats_provider
         self._group_lookup = group_lookup
         self._segment_rows = dict(segment_rows or {})
+        self._corrections = corrections
         self._cache: dict[int, Estimate] = {}
 
     def estimate(self, rel: RelationalOp) -> Estimate:
@@ -110,6 +137,9 @@ class Estimator:
                              for c in rel.columns})
         if isinstance(rel, Select):
             child = self.estimate(rel.child)
+            corrected = self._corrected_rows(rel.predicate, child)
+            if corrected is not None:
+                return child.scaled(corrected)
             selectivity = self.predicate_selectivity(rel.predicate, child)
             return child.scaled(child.rows * selectivity)
         if isinstance(rel, Project):
@@ -165,6 +195,22 @@ class Estimator:
             return self.estimate(rel.children[0])
         return Estimate(1.0)
 
+    def _corrected_rows(self, predicate, child: Estimate) -> float | None:
+        """Runtime-feedback override for a filter directly over a table.
+
+        When the child estimate still carries base-table provenance and
+        the correction store holds a non-drifted observation for this
+        (table, predicate) pair, the *observed* cardinality replaces the
+        selectivity math entirely.
+        """
+        if self._corrections is None or child.table is None:
+            return None
+        found = self._corrections.lookup(child.table,
+                                         predicate_fingerprint(predicate))
+        if found is None:
+            return None
+        return float(found.actual_rows)
+
     # -- leaves -----------------------------------------------------------------
 
     def _estimate_get(self, rel: Get) -> Estimate:
@@ -172,7 +218,8 @@ class Estimator:
         if stats is None:
             rows = 1000.0
             return Estimate(rows, {c.cid: ColumnEstimate(DEFAULT_NDV)
-                                   for c in rel.columns})
+                                   for c in rel.columns},
+                            table=rel.table_name)
         columns = {}
         for column in rel.columns:
             info = stats.column(column.name)
@@ -185,7 +232,8 @@ class Estimator:
                     max(float(info.distinct_count), 1.0),
                     info.min_value, info.max_value, null_fraction,
                     info.histogram)
-        return Estimate(float(stats.row_count), columns)
+        return Estimate(float(stats.row_count), columns,
+                        table=rel.table_name)
 
     # -- joins -------------------------------------------------------------------
 
@@ -243,7 +291,8 @@ class Estimator:
         key = frozenset(c.cid for c in rel.inner_columns)
         nested = Estimator(self._stats_provider, self._group_lookup,
                            {**self._segment_rows,
-                            key: Estimate(per_segment, seg_columns)})
+                            key: Estimate(per_segment, seg_columns)},
+                           corrections=self._corrections)
         right = nested.estimate(rel.right)
         rows = segments * right.rows
         columns = {c.cid: ColumnEstimate(left.ndv(c.cid))

@@ -86,6 +86,15 @@ class Implementer:
                 f"({group.exprs[0].op.label() if group.exprs else 'empty'})")
         if math.isfinite(best.cost):
             group.best = best
+        # Stamp the chosen plan root with the group's cardinality
+        # estimate so runtime feedback (repro.feedback) can compare it
+        # against actual row counts.  Only the group root is stamped —
+        # interior enforcer nodes (e.g. the Sort under a StreamAggregate
+        # alternative) have no group of their own and stay None.  A node
+        # shared by several parent groups keeps its first (own-group)
+        # estimate.
+        if best.plan.estimated_rows is None:
+            best.plan.estimated_rows = group.estimate.rows
         return best
 
     def _child(self, op: RelationalOp) -> CostedPlan:

@@ -95,7 +95,8 @@ class _TreeContext:
 
     def make_estimator(self, group_lookup=None) -> Estimator:
         return Estimator(self._optimizer.stats_provider, group_lookup,
-                         self._segment_rows)
+                         self._segment_rows,
+                         corrections=self._optimizer.corrections)
 
     def optimize_subtree(self, rel: RelationalOp,
                          segment_rows: Mapping[frozenset[int], Estimate]
@@ -112,13 +113,18 @@ class Optimizer:
                  stats_provider: Callable[[str], Optional[TableStats]],
                  index_provider: Callable[[str], list[tuple[str, ...]]],
                  config: OptimizerConfig | None = None,
-                 governor=None) -> None:
+                 governor=None, corrections=None) -> None:
         self.stats_provider = stats_provider
         self.index_provider = index_provider
         self.config = config or OptimizerConfig()
         #: Optional per-query ResourceGovernor; ticked per exploration
         #: task and consulted for the memo-group cap and the deadline.
         self.governor = governor
+        #: Optional :class:`~repro.catalog.statistics.CorrectionStore`
+        #: of runtime cardinality observations; threaded into every
+        #: Estimator this optimizer creates so corrected estimates steer
+        #: join ordering, implementation choices and segment costing.
+        self.corrections = corrections
 
     def optimize(self, rel: RelationalOp) -> PhysicalOp:
         return self.optimize_with_cost(rel).plan
@@ -141,7 +147,9 @@ class Optimizer:
             seeded = []
             for variant in variants:
                 reordered = greedy_join_order(
-                    variant, lambda: Estimator(self.stats_provider))
+                    variant, lambda: Estimator(
+                        self.stats_provider,
+                        corrections=self.corrections))
                 if plan_signature(reordered) != plan_signature(variant):
                     seeded.append(reordered)
             # Keep the original shapes too: the greedy seed widens the
@@ -177,7 +185,7 @@ class Optimizer:
 
         def estimator_factory(group_lookup=None) -> Estimator:
             return Estimator(self.stats_provider, group_lookup,
-                             segment_rows)
+                             segment_rows, corrections=self.corrections)
 
         memo = Memo(estimator_factory,
                     governor=self.governor if explore else None)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import (Any, Iterable, Iterator, Mapping, Optional, Sequence,
                     Union)
@@ -26,6 +27,7 @@ from .algebra import DataType, Get, RelationalOp, collect_nodes, explain
 from .analysis import PlanAnalyzer
 from .binder import Binder, BoundQuery
 from .catalog import Catalog, ColumnDef, IndexDef, TableDef
+from .catalog.statistics import CorrectionStore
 from .core.normalize import NormalizeConfig, normalize
 from .core.optimizer import Optimizer, OptimizerConfig
 from .errors import (BindError, ExecutionError, InjectedFault,
@@ -34,10 +36,12 @@ from .errors import (BindError, ExecutionError, InjectedFault,
 from .executor import NaiveInterpreter
 from .executor.physical import PhysicalExecutor
 from .executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
+from .feedback import (DEFAULT_Q_ERROR_THRESHOLD, FeedbackLoop,
+                       render_tree, tree_dict, tree_max_q_error)
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .physical import PhysicalOp, explain_physical
 from .plancache import CachedPlan, PlanCache, normalize_sql_key
-from .sql import parse
+from .sql import parse, split_explain
 from .storage import Storage
 
 #: Parameter bindings accepted by ``execute``: a sequence for positional
@@ -83,6 +87,61 @@ MODES = {mode.name: mode for mode in (FULL, DECORRELATE_ONLY, CORRELATED,
 #: physical planning entirely and ignores the engine.)
 ENGINES = ("tuple", "vectorized")
 
+#: Output formats accepted by the unified explain API.
+EXPLAIN_FORMATS = ("text", "dict")
+
+
+@dataclass(frozen=True)
+class ExplainOptions:
+    """Options shared by every explain entry point.
+
+    :meth:`Database.explain`, :meth:`PreparedStatement.explain`, the
+    SQL-level ``EXPLAIN [ANALYZE]`` statement and the analysis CLI all
+    funnel into this one shape:
+
+    * ``analyze`` — actually execute the query once, with per-operator
+      row counting, and annotate each plan node with its actual
+      cardinality and Q-error next to the optimizer's estimate;
+    * ``costs`` — include the optimizer's total cost estimate;
+    * ``format`` — ``"text"`` (indented tree, the default) or ``"dict"``
+      (JSON-safe nested dicts, the wire representation).
+    """
+
+    analyze: bool = False
+    costs: bool = False
+    format: str = "text"
+
+    def __post_init__(self) -> None:
+        if self.format not in EXPLAIN_FORMATS:
+            raise ValueError(
+                f"unknown explain format {self.format!r}; expected one "
+                f"of: {', '.join(EXPLAIN_FORMATS)}")
+
+
+def _explain_options(deprecated: tuple, options: ExplainOptions | None,
+                     analyze: bool, costs: bool,
+                     format: str) -> ExplainOptions:
+    """Resolve an explain call's arguments to one ``ExplainOptions``.
+
+    ``deprecated`` captures a legacy *positional* ``costs`` argument
+    (the pre-1.4 signature was ``explain(sql, mode, costs)``); passing
+    it still works but warns.  An explicit ``options`` object wins over
+    the individual keywords.
+    """
+    if deprecated:
+        if len(deprecated) > 1 or options is not None:
+            raise TypeError(
+                "explain() takes at most one positional option (the "
+                "deprecated costs flag)")
+        warnings.warn(
+            "passing costs positionally to explain() is deprecated; "
+            "use costs=... or options=ExplainOptions(costs=...)",
+            DeprecationWarning, stacklevel=3)
+        costs = bool(deprecated[0])
+    if options is not None:
+        return options
+    return ExplainOptions(analyze=analyze, costs=costs, format=format)
+
 
 class QueryResult:
     """Rows plus the output schema (column names and types).
@@ -98,6 +157,10 @@ class QueryResult:
                  types: Sequence[DataType] | None = None,
                  degraded: bool = False,
                  stats: QueryStats | None = None) -> None:
+        if types is not None and len(types) != len(names):
+            raise ValueError(
+                f"QueryResult schema mismatch: {len(names)} column "
+                f"name(s) but {len(types)} type(s)")
         self.names = names
         self.rows = rows
         self.types = (list(types) if types is not None
@@ -238,8 +301,23 @@ class PreparedStatement:
             optimizer_budget=optimizer_budget, governor=governor,
             engine=self.engine)
 
-    def explain(self, costs: bool = False) -> str:
-        return self._database.explain(self.sql, self.mode, costs)
+    def explain(self, *deprecated,
+                options: ExplainOptions | None = None,
+                analyze: bool = False, costs: bool = False,
+                format: str = "text",
+                params: Params = None) -> "str | dict":
+        """Explain this statement (see :meth:`Database.explain`).
+
+        ``analyze=True`` executes the statement once with per-operator
+        row counting; pass ``params`` for statements with parameter
+        markers.  The positional ``costs`` form of the pre-1.4 signature
+        still works but is deprecated.
+        """
+        resolved = _explain_options(deprecated, options, analyze, costs,
+                                    format)
+        return self._database.explain(self.sql, self.mode,
+                                      options=resolved,
+                                      engine=self.engine, params=params)
 
     def __repr__(self) -> str:
         return (f"PreparedStatement({self.sql!r}, mode={self.mode.name}, "
@@ -252,7 +330,10 @@ class Database:
     def __init__(self, plan_cache_capacity: int = 128,
                  default_engine: str = "tuple",
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 plan_cache_shards: int = 1) -> None:
+                 plan_cache_shards: int = 1,
+                 feedback: bool = False,
+                 q_error_threshold: float = DEFAULT_Q_ERROR_THRESHOLD
+                 ) -> None:
         if default_engine not in ENGINES:
             raise ValueError(
                 f"unknown execution engine {default_engine!r}; "
@@ -264,6 +345,16 @@ class Database:
         self._vectorized = VectorizedExecutor(self.storage,
                                               batch_size=batch_size)
         self.default_engine = default_engine
+        #: Runtime cardinality observations (repro.feedback); consulted
+        #: by every optimizer this database builds.
+        self.corrections = CorrectionStore(row_count_of=self._row_count)
+        self.feedback = FeedbackLoop(self.corrections, self._row_count,
+                                     q_error_threshold=q_error_threshold)
+        #: When True, every execution counts actual rows per operator
+        #: and feeds them back through :attr:`feedback`.  Off by default:
+        #: ungoverned execution stays at zero profiling overhead, and
+        #: ``EXPLAIN ANALYZE`` profiles its one execution regardless.
+        self.feedback_enabled = feedback
         # ``plan_cache_shards=1`` keeps exact global LRU order (the
         # single-threaded default); servers pass more shards to spread
         # lock contention across stripes (see repro.server).
@@ -295,6 +386,7 @@ class Database:
         self.catalog.create_table(table)
         self.storage.create(table)
         self.plan_cache.invalidate()
+        self.corrections.invalidate(name)
         return table
 
     def create_index(self, index_name: str, table_name: str,
@@ -329,6 +421,7 @@ class Database:
         self.catalog.drop_table(name)
         self.storage.drop(name)
         self.plan_cache.invalidate()
+        self.corrections.invalidate(name)
 
     def table_names(self) -> list[str]:
         return [t.name for t in self.catalog.tables()]
@@ -387,6 +480,18 @@ class Database:
         """
         resolved = self._resolve_mode(mode)
         resolved_engine = self._resolve_engine(engine)
+        explain_stmt = split_explain(sql)
+        if explain_stmt is not None:
+            # SQL-level EXPLAIN [ANALYZE]: route through the unified
+            # explain API and return the rendering as a one-column result.
+            inner_sql, analyze = explain_stmt
+            rendered = self.explain(
+                inner_sql, resolved,
+                options=ExplainOptions(analyze=analyze),
+                engine=resolved_engine, params=params)
+            return QueryResult(["plan"],
+                               [(line,) for line in rendered.split("\n")],
+                               [DataType.VARCHAR])
         gov = governor
         if gov is None and (timeout is not None or row_budget is not None
                             or memory_budget is not None
@@ -402,41 +507,54 @@ class Database:
         values = bind_parameters(entry.parameters, params)
         degraded = entry.degraded
         reason = entry.fallback_reason
+        profile: dict[int, int] | None = (
+            {} if self.feedback_enabled and entry.plan is not None
+            else None)
         try:
-            rows = self._run_entry(entry, values, gov, snapshot)
+            rows = self._run_entry(entry, values, gov, snapshot, profile)
         except InjectedFault as fault:
             # The physical executor died on an injected infrastructure
             # fault before any row reached the caller (results are fully
             # materialized): re-run on the independent naive interpreter.
             degraded = True
             reason = f"executor fault: {fault}"
+            profile = None  # partial counts from the dead run are noise
             rows = self._run_naive(entry.rel, values, gov, snapshot)
         stats = QueryStats(elapsed_seconds=time.monotonic() - started,
                            degraded=degraded, fallback_reason=reason)
         if gov is not None:
             gov.fill_stats(stats)
+        if profile:
+            observed = self.feedback.record(entry, profile)
+            if observed is not None:
+                stats.max_q_error = observed.max_q_error
         return QueryResult(list(entry.names), rows, entry.types,
                            degraded=degraded, stats=stats)
 
     def _run_entry(self, entry: CachedPlan, values: tuple,
                    gov: ResourceGovernor | None,
-                   snapshot=None) -> list[tuple]:
+                   snapshot=None,
+                   profile: dict[int, int] | None = None) -> list[tuple]:
         if entry.executable is None:
             # Naive mode, or a degraded entry whose fallback plan could
             # not be built: interpret the bound logical tree directly.
-            return self._run_naive(entry.rel, values, gov, snapshot)
+            return self._run_naive(entry.rel, values, gov, snapshot,
+                                   profile)
         return self._executor_for(entry.engine).run_prepared(
-            entry.executable, values, gov, storage=snapshot)
+            entry.executable, values, gov, storage=snapshot,
+            profile=profile)
 
     def _executor_for(self, engine: str):
         return self._vectorized if engine == "vectorized" else self._executor
 
     def _run_naive(self, rel: RelationalOp, values: tuple,
                    gov: ResourceGovernor | None,
-                   snapshot=None) -> list[tuple]:
+                   snapshot=None,
+                   profile: dict[int, int] | None = None) -> list[tuple]:
         source = snapshot if snapshot is not None else self.storage
         interpreter = NaiveInterpreter(
-            lambda name: source.get(name).rows, governor=gov)
+            lambda name: source.get(name).rows, governor=gov,
+            profile=profile)
         return interpreter.run(rel, values)
 
     def prepare(self, sql: str,
@@ -605,35 +723,132 @@ class Database:
         return analyzer.admissible(entry.rel, entry.plan)
 
     def explain(self, sql: str, mode: ExecutionMode | str = FULL,
-                costs: bool = False) -> str:
-        """Normalized logical tree and chosen physical plan, as text.
+                *deprecated, options: ExplainOptions | None = None,
+                analyze: bool = False, costs: bool = False,
+                format: str = "text", engine: str | None = None,
+                params: Params = None) -> "str | dict":
+        """The query's plan — estimated, and with ``analyze`` also actual.
 
-        With ``costs=True`` the output ends with the optimizer's estimated
-        cost (arbitrary work units) and estimated output rows.
+        The default renders the normalized logical tree and the chosen
+        physical plan as text.  ``costs=True`` appends the optimizer's
+        estimated cost (arbitrary work units) and estimated output rows.
+        ``analyze=True`` *executes the query once*, counting actual rows
+        per operator, and annotates every plan node with estimated rows,
+        actual rows and their Q-error; the observation is also fed into
+        the database's feedback loop.  ``format="dict"`` returns JSON-safe
+        nested dicts instead of text (node keys: ``op``,
+        ``estimated_rows``, ``actual_rows``, ``q_error``, ``children``).
+        All settings can be bundled in an :class:`ExplainOptions` via
+        ``options=``, which the other explain entry points share.
+
+        The pre-1.4 positional ``costs`` argument
+        (``explain(sql, mode, True)``) still works but warns with
+        ``DeprecationWarning``.
         """
+        resolved = _explain_options(deprecated, options, analyze, costs,
+                                    format)
         mode = self._resolve_mode(mode)
+        if resolved.analyze:
+            return self._explain_analyze(sql, mode, resolved,
+                                         self._resolve_engine(engine),
+                                         params)
         bound = self._binder.bind(parse(sql))
         normalized = normalize(bound.rel, mode.normalize_config)
-        sections = ["-- logical (normalized) --", explain(normalized)]
+        costed = None
+        plan = None
         if not mode.use_naive_interpreter:
             optimizer = self._optimizer(mode)
-            if costs:
-                from .core.optimizer import Estimator
-
+            if resolved.costs:
                 costed = optimizer.optimize_with_cost(normalized)
-                sections += ["-- physical --",
-                             explain_physical(costed.plan)]
-                estimate = Estimator(self._stats_provider).estimate(
-                    normalized)
-                sections += [
-                    "-- estimates --",
-                    f"cost: {costed.cost:.1f}",
-                    f"rows: {estimate.rows:.1f}",
-                ]
+                plan = costed.plan
             else:
                 plan = optimizer.optimize(normalized)
-                sections += ["-- physical --", explain_physical(plan)]
+        if resolved.format == "dict":
+            payload: dict[str, Any] = {
+                "sql": sql, "mode": mode.name, "analyze": False,
+                "logical": explain(normalized),
+                "plan": tree_dict(plan if plan is not None
+                                  else normalized)}
+            if costed is not None:
+                payload["cost"] = costed.cost
+            return payload
+        sections = ["-- logical (normalized) --", explain(normalized)]
+        if plan is not None:
+            sections += ["-- physical --", explain_physical(plan)]
+        if costed is not None:
+            from .core.optimizer import Estimator
+
+            estimate = Estimator(
+                self._stats_provider,
+                corrections=self.corrections).estimate(normalized)
+            sections += [
+                "-- estimates --",
+                f"cost: {costed.cost:.1f}",
+                f"rows: {estimate.rows:.1f}",
+            ]
         return "\n".join(sections)
+
+    def _explain_analyze(self, sql: str, mode: ExecutionMode,
+                         options: ExplainOptions, engine: str,
+                         params: Params) -> "str | dict":
+        """One profiled execution, rendered as an annotated plan tree.
+
+        Physical plans (tuple/vectorized engines) are annotated from the
+        estimates the optimizer stamped at costing time; naive mode
+        interprets the bound logical tree, so its estimates are computed
+        at explain time by walking the tree with the estimator.  The
+        observation is recorded into the feedback loop exactly as an
+        ordinary feedback-enabled execution would.
+        """
+        entry = self._cached_plan(sql, mode, engine=engine)
+        values = bind_parameters(entry.parameters, params)
+        profile: dict[int, int] = {}
+        started = time.monotonic()
+        rows = self._run_entry(entry, values, None, None, profile)
+        elapsed = time.monotonic() - started
+        stats = QueryStats(elapsed_seconds=elapsed,
+                           degraded=entry.degraded,
+                           fallback_reason=entry.fallback_reason)
+        if entry.plan is not None:
+            self.feedback.record(entry, profile)
+            tree = tree_dict(entry.plan, profile)
+        else:
+            tree = tree_dict(entry.rel, profile,
+                             self._logical_estimates(entry.rel))
+        stats.max_q_error = tree_max_q_error(tree)
+        if options.format == "dict":
+            return {"sql": sql, "mode": mode.name, "engine": entry.engine,
+                    "analyze": True, "plan": tree, "row_count": len(rows),
+                    "stats": stats.as_dict()}
+        header = ("-- physical (analyze) --" if entry.plan is not None
+                  else "-- logical (analyze) --")
+        sections = [header, render_tree(tree), "-- execution --",
+                    f"rows: {len(rows)}",
+                    f"elapsed: {elapsed:.6f}s"]
+        if stats.max_q_error is not None:
+            sections.append(f"max q-error: {stats.max_q_error:.2f}")
+        return "\n".join(sections)
+
+    def _logical_estimates(self, rel: RelationalOp) -> dict[int, float]:
+        """Per-node cardinality estimates for a logical tree, keyed by
+        node identity — EXPLAIN ANALYZE's estimate source in naive mode,
+        where no physical plan carries stamped estimates."""
+        from .core.optimizer import Estimator
+
+        estimator = Estimator(self._stats_provider,
+                              corrections=self.corrections)
+        estimates: dict[int, float] = {}
+
+        def visit(node: RelationalOp) -> None:
+            try:
+                estimates[id(node)] = estimator.estimate(node).rows
+            except ReproError:
+                pass  # advisory only: an inestimable node shows no est=
+            for child in node.children:
+                visit(child)
+
+        visit(rel)
+        return estimates
 
     def plan(self, sql: str, mode: ExecutionMode | str = FULL) -> PhysicalOp:
         mode = self._resolve_mode(mode)
@@ -647,7 +862,8 @@ class Database:
     def _optimizer(self, mode: ExecutionMode,
                    gov: ResourceGovernor | None = None) -> Optimizer:
         return Optimizer(self._stats_provider, self._index_provider,
-                         mode.optimizer_config, governor=gov)
+                         mode.optimizer_config, governor=gov,
+                         corrections=self.corrections)
 
     # -- optimizer services ------------------------------------------------------
 

@@ -51,12 +51,17 @@ class NaiveInterpreter:
     """
 
     def __init__(self, table_provider: Callable[[str], Iterable[tuple]],
-                 governor=None) -> None:
+                 governor=None, profile: dict | None = None) -> None:
         self._table_provider = table_provider
         self._segments: dict[frozenset[int], list[Row]] = {}
         #: Optional ResourceGovernor; base-table scans are metered, which
         #: also covers correlated re-evaluation (each re-open rescans).
         self._governor = governor
+        #: Optional ``dict[int, int]``: actual rows produced per logical
+        #: node (keyed by ``id(node)``), for EXPLAIN ANALYZE in naive
+        #: mode.  ``None`` disables counting — ``rows`` then forwards
+        #: straight to the dispatch with no per-row wrapper.
+        self._profile = profile
 
     # -- public API --------------------------------------------------------------
 
@@ -90,6 +95,29 @@ class NaiveInterpreter:
 
     def rows(self, rel: RelationalOp, env: Row) -> Iterator[Row]:
         """Evaluate ``rel`` with outer parameter bindings ``env``.
+
+        With profiling enabled the produced rows are counted per logical
+        node (correlated re-evaluation accumulates, mirroring the
+        physical engines' per-open accumulation under NLApply).
+        """
+        source = self._rows(rel, env)
+        if self._profile is None:
+            return source
+        return self._counted(source, id(rel))
+
+    def _counted(self, source: Iterable[Row], key: int) -> Iterator[Row]:
+        n = 0
+        try:
+            for row in source:
+                n += 1
+                yield row
+        finally:
+            profile = self._profile
+            if profile is not None:
+                profile[key] = profile.get(key, 0) + n
+
+    def _rows(self, rel: RelationalOp, env: Row) -> Iterator[Row]:
+        """Dispatch: evaluate one logical operator.
 
         Yields rows lazily: a Select over a cross product filters row by
         row instead of materializing the product (still naive — no

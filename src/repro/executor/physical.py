@@ -33,9 +33,9 @@ class ExecutionContext:
     the optional per-query resource governor, and the storage view the
     run reads from."""
 
-    __slots__ = ("params", "segments", "governor", "storage")
+    __slots__ = ("params", "segments", "governor", "storage", "profile")
 
-    def __init__(self, governor=None, storage=None) -> None:
+    def __init__(self, governor=None, storage=None, profile=None) -> None:
         self.params: dict[int, Any] = {}
         #: Current segment per SegmentRef column set: a list of row
         #: tuples under the tuple engine, a columnar Batch under the
@@ -49,6 +49,11 @@ class ExecutionContext:
         #: resolution is what makes one cached executable serve both the
         #: latest data and any session snapshot.
         self.storage = storage
+        #: ``dict[int, int] | None`` — actual rows produced per plan
+        #: node, keyed by ``id(node)``.  ``None`` (the default) disables
+        #: row counting entirely; EXPLAIN ANALYZE and feedback-enabled
+        #: executions pass a dict (see repro.feedback).
+        self.profile = profile
 
 
 class _Executable:
@@ -58,6 +63,40 @@ class _Executable:
 
     def __init__(self, rows: Callable[[ExecutionContext], Iterator[tuple]]):
         self.rows = rows
+
+
+def _count_rows(source: Iterator[tuple], profile: dict,
+                key: int) -> Iterator[tuple]:
+    """Count the rows flowing out of one operator into ``profile[key]``.
+
+    The count lands in the ``finally`` so early-terminated consumers
+    (Top, Max1row, semi-join probes) still record the rows they actually
+    pulled before closing the iterator.
+    """
+    n = 0
+    try:
+        for row in source:
+            n += 1
+            yield row
+    finally:
+        profile[key] = profile.get(key, 0) + n
+
+
+def _profiled(inner: Callable[[ExecutionContext], Iterator[tuple]],
+              key: int) -> Callable[[ExecutionContext], Iterator[tuple]]:
+    """Wrap a prepared ``rows(ctx)`` callable with per-node row counting.
+
+    With profiling off (``ctx.profile is None`` — the default) the cost
+    per operator *open* is one extra call and one attribute test; the
+    raw iterator is returned untouched, so the per-row path is
+    completely unchanged.
+    """
+    def rows(ctx: ExecutionContext) -> Iterator[tuple]:
+        profile = ctx.profile
+        if profile is None:
+            return inner(ctx)
+        return _count_rows(inner(ctx), profile, key)
+    return rows
 
 
 class PhysicalExecutor:
@@ -84,7 +123,8 @@ class PhysicalExecutor:
 
     def run_prepared(self, executable: _Executable,
                      params: Sequence[Any] | None = None,
-                     governor=None, storage=None) -> list[tuple]:
+                     governor=None, storage=None,
+                     profile: dict | None = None) -> list[tuple]:
         """Execute a prepared plan, optionally binding query parameters.
 
         ``params`` is a sequence in slot order; slot ``i`` is published to
@@ -95,11 +135,15 @@ class PhysicalExecutor:
         deadline gets a final deterministic check even for empty results.
         ``storage`` overrides where table scans and seeks resolve their
         data — pass a pinned snapshot to run against it; the executor's
-        live storage is the default.
+        live storage is the default.  ``profile`` (a dict) enables
+        per-node actual-row counting for EXPLAIN ANALYZE and the
+        cardinality-feedback loop; counts accumulate keyed by plan-node
+        id.
         """
         faultinject.hit("executor.open")
         ctx = ExecutionContext(
-            governor, storage if storage is not None else self._storage)
+            governor, storage if storage is not None else self._storage,
+            profile)
         if params is not None:
             for i, value in enumerate(params):
                 ctx.params[parameter_slot(i)] = value
@@ -117,7 +161,9 @@ class PhysicalExecutor:
         if method is None:
             raise ExecutionError(
                 f"no executor for physical operator {type(plan).__name__}")
-        return method(plan)
+        executable = method(plan)
+        executable.rows = _profiled(executable.rows, id(plan))
+        return executable
 
     def _prepare_PTableScan(self, plan: PTableScan) -> _Executable:
         self._storage.get(plan.table_name)  # validate eagerly

@@ -149,6 +149,32 @@ class _VecExecutable:
         self.batches = batches
 
 
+def _count_batches(source: Iterator[Batch], profile: dict,
+                   key: int) -> Iterator[Batch]:
+    """Accumulate ``batch.nrows`` per batch into ``profile[key]`` — the
+    vectorized engine counts at batch granularity, never per row."""
+    n = 0
+    try:
+        for batch in source:
+            n += batch.nrows
+            yield batch
+    finally:
+        profile[key] = profile.get(key, 0) + n
+
+
+def _vec_profiled(inner: Callable[[ExecutionContext], Iterator[Batch]],
+                  key: int) -> Callable[[ExecutionContext], Iterator[Batch]]:
+    """Batch-engine twin of the tuple engine's ``_profiled`` wrapper:
+    with ``ctx.profile`` unset the raw batch iterator is returned and
+    the per-batch path is unchanged."""
+    def batches(ctx: ExecutionContext) -> Iterator[Batch]:
+        profile = ctx.profile
+        if profile is None:
+            return inner(ctx)
+        return _count_batches(inner(ctx), profile, key)
+    return batches
+
+
 class VectorizedExecutor:
     """Executes physical plans batch-at-a-time against a storage engine.
 
@@ -179,13 +205,16 @@ class VectorizedExecutor:
 
     def run_prepared(self, executable: _VecExecutable,
                      params: Sequence[Any] | None = None,
-                     governor=None, storage=None) -> list[tuple]:
+                     governor=None, storage=None,
+                     profile: dict | None = None) -> list[tuple]:
         """Execute a prepared plan; same contract as the tuple engine's
         ``run_prepared`` (slot-ordered ``params``, cooperative governor,
-        rows returned as tuples, optional ``storage`` view override)."""
+        rows returned as tuples, optional ``storage`` view override,
+        optional per-node ``profile`` row counting)."""
         faultinject.hit("executor.open")
         ctx = ExecutionContext(
-            governor, storage if storage is not None else self._storage)
+            governor, storage if storage is not None else self._storage,
+            profile)
         if params is not None:
             for i, value in enumerate(params):
                 ctx.params[parameter_slot(i)] = value
@@ -209,7 +238,9 @@ class VectorizedExecutor:
             raise ExecutionError(
                 f"no vectorized executor for physical operator "
                 f"{type(plan).__name__}")
-        return method(plan)
+        executable = method(plan)
+        executable.batches = _vec_profiled(executable.batches, id(plan))
+        return executable
 
     # -- leaves -----------------------------------------------------------------
 

@@ -39,6 +39,8 @@ INJECTION_SITES = frozenset({
     "admission.enqueue",    # per request submitted to admission control
     "snapshot.install",     # per table-version install (commit point)
     "wire.decode",          # per wire-protocol request decode
+    "feedback.record",      # per feedback-loop observation; a fault here
+                            # drops the observation, never fails the query
 })
 
 

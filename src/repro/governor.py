@@ -69,6 +69,31 @@ class QueryStats:
     timeout: Optional[float] = None
     row_budget: Optional[int] = None
     memory_budget: Optional[int] = None
+    #: Worst per-node Q-error observed by the feedback loop for this
+    #: execution; ``None`` when the query ran without profiling.
+    max_q_error: Optional[float] = None
+
+    #: Wire-format field names, frozen: the server protocol and the
+    #: EXPLAIN ANALYZE dict output both embed :meth:`as_dict` verbatim,
+    #: so renaming a field is a protocol change, not a refactor.
+    FIELDS = ("elapsed_seconds", "degraded", "fallback_reason", "governed",
+              "rows_examined", "peak_rows_buffered", "rule_applications",
+              "memo_groups", "timeout", "row_budget", "memory_budget",
+              "max_q_error")
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot under the frozen :data:`FIELDS` names."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryStats":
+        """Rebuild stats from :meth:`as_dict` output (wire round-trip).
+
+        Unknown keys are ignored so newer servers can talk to older
+        clients; missing keys keep their defaults for the converse.
+        """
+        known = {k: v for k, v in payload.items() if k in cls.FIELDS}
+        return cls(**known)
 
 
 class ResourceGovernor:

@@ -24,10 +24,16 @@ from ..algebra.scalar import AggregateCall, ScalarExpr
 class PhysicalOp:
     """Base class of physical operators."""
 
-    __slots__ = ("columns",)
+    __slots__ = ("columns", "estimated_rows")
 
     def __init__(self, columns: Sequence[Column]) -> None:
         self.columns = list(columns)
+        #: Cost-model output-row estimate, stamped by the optimizer's
+        #: implementation pass when this node is the root of a chosen
+        #: memo group (``None`` for nodes no estimate was produced for,
+        #: e.g. enforcer sorts inserted below an aggregate).  Runtime
+        #: feedback compares it against actual counts (repro.feedback).
+        self.estimated_rows: Optional[float] = None
 
     @property
     def children(self) -> tuple["PhysicalOp", ...]:

@@ -79,6 +79,13 @@ class CachedPlan:
     #: returned to the caller but never admitted into the cache.
     degraded: bool = False
     fallback_reason: str | None = None
+    #: Set by the feedback loop (:mod:`repro.feedback`) when this plan's
+    #: observed max Q-error exceeded the staleness threshold.  The next
+    #: cache lookup discards the entry and replans against the corrected
+    #: statistics.  Flagging never touches the entry's plan or
+    #: executable, so executions already holding the entry are
+    #: unaffected (plans are immutable once built).
+    feedback_stale: bool = False
 
     @property
     def key(self) -> tuple:
@@ -101,6 +108,9 @@ class CacheStats:
     stale: int = 0
     #: entries refused admission by the cache's validator hook
     rejected: int = 0
+    #: entries discarded because runtime feedback flagged their plan
+    #: (max Q-error over threshold; see repro.feedback)
+    feedback_stale: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -111,12 +121,15 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = 0
         self.invalidations = self.stale = self.rejected = 0
+        self.feedback_stale = 0
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations, "stale": self.stale,
-                "rejected": self.rejected, "hit_rate": self.hit_rate}
+                "rejected": self.rejected,
+                "feedback_stale": self.feedback_stale,
+                "hit_rate": self.hit_rate}
 
 
 class _Shard:
@@ -196,6 +209,13 @@ class PlanCache:
         with shard.lock:
             entry = shard.entries.get(key)
         if entry is None:
+            self._bump("misses")
+            return None
+        if entry.feedback_stale:
+            with shard.lock:
+                if shard.entries.get(key) is entry:
+                    del shard.entries[key]
+            self._bump("feedback_stale")
             self._bump("misses")
             return None
         if self._is_stale(entry):

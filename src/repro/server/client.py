@@ -20,6 +20,7 @@ from typing import Any, Mapping, Optional, Sequence
 from .. import errors as _errors
 from ..algebra.datatypes import DataType
 from ..errors import ProtocolError, ReproError
+from ..governor import QueryStats
 from .wire import decode_row, encode_value
 
 _DTYPES = {d.value: d for d in DataType}
@@ -28,7 +29,8 @@ _DTYPES = {d.value: d for d in DataType}
 class ClientResult:
     """Rows plus schema as decoded from one query response."""
 
-    __slots__ = ("names", "types", "rows", "degraded", "elapsed_seconds")
+    __slots__ = ("names", "types", "rows", "degraded", "elapsed_seconds",
+                 "stats")
 
     def __init__(self, payload: dict) -> None:
         self.names = payload["columns"]
@@ -37,6 +39,9 @@ class ClientResult:
         self.rows = [decode_row(row) for row in payload["rows"]]
         self.degraded = payload["degraded"]
         self.elapsed_seconds = payload["elapsed_seconds"]
+        #: Per-query execution statistics, rebuilt from the server's
+        #: QueryStats.as_dict() (absent on pre-1.4 servers).
+        self.stats = QueryStats.from_dict(payload.get("stats", {}))
 
     def to_dicts(self) -> list[dict[str, Any]]:
         return [dict(zip(self.names, row)) for row in self.rows]
@@ -114,10 +119,26 @@ class ServerClient:
         return ClientResult(self.request(payload))
 
     def explain(self, sql: str, mode: str | None = None,
-                costs: bool = False) -> str:
-        payload: dict = {"op": "explain", "sql": sql, "costs": costs}
+                costs: bool = False, *, analyze: bool = False,
+                format: str = "text", engine: str | None = None,
+                params: Sequence[Any] | Mapping[str, Any] | None = None
+                ) -> "str | dict":
+        """Server-side explain; mirrors :meth:`Database.explain`.
+
+        Returns the rendered text, or a dict when ``format="dict"``.
+        """
+        payload: dict = {"op": "explain", "sql": sql, "costs": costs,
+                         "analyze": analyze, "format": format}
         if mode is not None:
             payload["mode"] = mode
+        if engine is not None:
+            payload["engine"] = engine
+        if params is not None:
+            if isinstance(params, Mapping):
+                payload["params"] = {k: encode_value(v)
+                                     for k, v in params.items()}
+            else:
+                payload["params"] = [encode_value(v) for v in params]
         return self.request(payload)["plan"]
 
     def insert(self, table: str, rows: Sequence[Sequence[Any] | Mapping]

@@ -279,10 +279,24 @@ class Session:
         self.stats.rows_inserted += count
         return count
 
-    def explain(self, sql: str, mode=None, costs: bool = False) -> str:
+    def explain(self, sql: str, mode=None, *deprecated, options=None,
+                analyze: bool = False, costs: bool = False,
+                format: str = "text", engine: str | None = None,
+                params=None) -> "str | dict":
+        """Explain through the unified API (see :meth:`Database.explain`).
+
+        Defaults the mode and engine to the session's; a positional
+        ``costs`` flag (pre-1.4 signature) still works but warns.
+        """
         self._check_open()
+        from ..database import _explain_options  # deferred: avoid cycle
+        resolved = _explain_options(deprecated, options, analyze, costs,
+                                    format)
         return self._db.explain(
-            sql, mode if mode is not None else self.default_mode, costs)
+            sql, mode if mode is not None else self.default_mode,
+            options=resolved,
+            engine=engine if engine is not None else self.default_engine,
+            params=params)
 
     # -- DDL (always autocommit) ---------------------------------------------------
 

@@ -260,15 +260,27 @@ class QueryServer:
             "rows": [encode_row(row) for row in result.rows],
             "degraded": result.degraded,
             "elapsed_seconds": result.stats.elapsed_seconds,
+            # QueryStats.as_dict uses frozen field names; the client
+            # rebuilds a QueryStats from this verbatim.
+            "stats": result.stats.as_dict(),
         }
 
     def _op_explain(self, session, request: dict) -> dict:
         sql = request.get("sql")
         if not isinstance(sql, str):
             raise ProtocolError("explain requires a string 'sql' field")
-        text = session.explain(sql, mode=request.get("mode"),
-                               costs=bool(request.get("costs", False)))
-        return {"ok": True, "plan": text}
+        params = request.get("params")
+        if isinstance(params, list):
+            params = [decode_value(v) for v in params]
+        elif isinstance(params, dict):
+            params = {k: decode_value(v) for k, v in params.items()}
+        rendered = session.explain(
+            sql, mode=request.get("mode"),
+            analyze=bool(request.get("analyze", False)),
+            costs=bool(request.get("costs", False)),
+            format=request.get("format", "text"),
+            engine=request.get("engine"), params=params)
+        return {"ok": True, "plan": rendered}
 
     def _op_insert(self, session, request: dict) -> dict:
         table = request.get("table")
@@ -348,4 +360,5 @@ class QueryServer:
             "plan_cache_hit_rate": cache.hit_rate,
             "resource_pool": self.pool.available(),
             "data_version": self.database.storage.data_version,
+            "feedback": self.database.feedback.as_dict(),
         }

@@ -23,7 +23,10 @@ Dialect (the subset the paper's examples and the TPC-H suite require):
   ``INTERVAL 'n' DAY|MONTH|YEAR``; ``EXTRACT(YEAR|MONTH|DAY FROM d)``;
   arithmetic ``+ - * /`` with date±interval support;
 * ``--`` line comments; case-insensitive keywords and identifiers;
-  ``"quoted"`` identifiers.
+  ``"quoted"`` identifiers;
+* ``EXPLAIN [ANALYZE] <query>`` — statement-level prefix
+  (:func:`split_explain` / :func:`parse_statement`); ``ANALYZE``
+  executes once with per-operator row counting.
 
 Unsupported (documented): window functions, ``WITH``/CTEs (use views),
 ``RIGHT``/``FULL OUTER JOIN``, string functions (``substring`` — the Q22
@@ -32,6 +35,8 @@ variant substitutes ``c_nationkey``), correlated/lateral derived tables.
 
 from . import ast
 from .lexer import Token, TokenType, tokenize
-from .parser import parse
+from .parser import (ExplainStatement, parse, parse_statement,
+                     split_explain)
 
-__all__ = ["Token", "TokenType", "ast", "parse", "tokenize"]
+__all__ = ["ExplainStatement", "Token", "TokenType", "ast", "parse",
+           "parse_statement", "split_explain", "tokenize"]

@@ -29,6 +29,7 @@ KEYWORDS = frozenset("""
     as on and or not in exists between like is null case when then else end
     join inner left right full outer cross union all any some except
     date interval day month year count sum avg min max true false extract
+    explain analyze
 """.split())
 
 OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "||")

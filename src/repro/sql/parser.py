@@ -14,6 +14,7 @@ Operator precedence (low to high):
 from __future__ import annotations
 
 import datetime
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import SqlSyntaxError
@@ -45,6 +46,59 @@ def parse(sql: str) -> Query:
     query = parser.parse_query()
     parser.expect_eof()
     return query
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <query>``: a request for the query's plan
+    (and, with ANALYZE, for one profiled execution of it)."""
+
+    query: Query
+    analyze: bool = False
+    #: The inner query's original text, so callers that key caches on SQL
+    #: (the database facade) can reuse their text-based pipeline.
+    query_sql: str = ""
+
+
+def parse_statement(sql: str) -> "Query | ExplainStatement":
+    """Parse one statement: a query, or ``EXPLAIN [ANALYZE] <query>``."""
+    split = split_explain(sql)
+    if split is None:
+        return parse(sql)
+    inner_sql, analyze = split
+    return ExplainStatement(parse(inner_sql), analyze, inner_sql)
+
+
+def split_explain(sql: str) -> Optional[tuple[str, bool]]:
+    """``(inner_sql, analyze)`` when ``sql`` is an EXPLAIN statement.
+
+    Returns ``None`` for ordinary queries — including unlexable text, so
+    the caller's normal parse path reports the real syntax error.  The
+    inner SQL is the original text with the ``EXPLAIN [ANALYZE]`` prefix
+    sliced off (comments and layout preserved), which keeps downstream
+    SQL-keyed caches consistent with executing the query directly.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SqlSyntaxError:
+        return None
+    if not tokens or not tokens[0].matches_keyword("explain"):
+        return None
+    analyze = tokens[1].matches_keyword("analyze")
+    rest = tokens[2] if analyze else tokens[1]
+    if rest.type is TokenType.EOF:
+        raise SqlSyntaxError("expected a query after EXPLAIN",
+                             rest.line, rest.column)
+    return sql[_token_offset(sql, rest):], analyze
+
+
+def _token_offset(sql: str, token: Token) -> int:
+    """Absolute character offset of ``token`` in ``sql`` (tokens carry
+    1-based line/column positions)."""
+    offset = 0
+    for _ in range(token.line - 1):
+        offset = sql.index("\n", offset) + 1
+    return offset + token.column - 1
 
 
 class _Parser:

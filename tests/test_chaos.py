@@ -67,7 +67,7 @@ class TestSiteRegistry:
             "optimizer.explore", "optimizer.memo", "optimizer.implement",
             "plancache.get", "plancache.put", "executor.open",
             "executor.naive", "analyzer.check", "admission.enqueue",
-            "snapshot.install", "wire.decode"}
+            "snapshot.install", "wire.decode", "feedback.record"}
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError):

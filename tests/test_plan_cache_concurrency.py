@@ -106,3 +106,64 @@ def test_hammer_through_database_execute():
     assert not errors, errors
     stats = db.plan_cache.stats
     assert stats.hit_rate >= 0.9
+
+
+def test_hammer_feedback_invalidation_never_corrupts_execution():
+    """Feedback staleness flags race against executions: workers hammer
+    skewed queries on a feedback-enabled database (low threshold, so
+    plans are flagged stale and replanned constantly) while a churn
+    thread keeps dropping the corrections — which makes the fresh plans
+    misestimate again and re-trips the invalidation.  Flagging must
+    never evict a plan out from under an in-flight execution: every
+    result stays correct, no thread ever errors."""
+    db = Database(plan_cache_shards=4, feedback=True,
+                  q_error_threshold=1.5)
+    db.create_table("t", [("a", DataType.INTEGER, False),
+                          ("b", DataType.INTEGER, True)],
+                    primary_key=("a",))
+    # Heavy skew: equality estimates are ~13x off, far past threshold.
+    db.insert("t", [(i, 0 if i < 150 else i) for i in range(200)])
+    queries = [
+        "select a from t where b = 0 order by a",
+        "select count(*) from t where b = 0",
+        "select b, count(*) from t where b = 0 group by b",
+        "select max(a) from t where b = 0",
+    ]
+    expected = {sql: db.execute(sql).rows for sql in queries}
+
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS + 1)
+    done = threading.Event()
+
+    def worker(seed: int) -> None:
+        try:
+            barrier.wait()
+            for step in range(60):
+                sql = queries[(seed + step) % len(queries)]
+                result = db.execute(sql)
+                assert result.rows == expected[sql]
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def churn() -> None:
+        try:
+            barrier.wait()
+            while not done.is_set():
+                db.corrections.invalidate()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,))
+               for n in range(THREADS)]
+    churner = threading.Thread(target=churn)
+    for t in threads:
+        t.start()
+    churner.start()
+    for t in threads:
+        t.join(timeout=60)
+    done.set()
+    churner.join(timeout=10)
+    assert not errors, errors
+    # The loop actually fired: plans were flagged stale and discarded.
+    assert db.feedback.plans_invalidated > 0
+    assert db.plan_cache.stats.feedback_stale > 0
