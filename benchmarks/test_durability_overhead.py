@@ -1,0 +1,117 @@
+"""Durability overhead: commit latency with the WAL on and off.
+
+Runs an identical single-row autocommit workload against three
+configurations of the same database — in-memory (no WAL), durable with
+``fsync=False`` (the OS page cache absorbs the write) and durable with
+``fsync=True`` (every commit waits for the disk) — and reports the
+commit latency distribution for each.  The interesting number is the
+no-fsync multiple: that is the pure bookkeeping cost of the log
+(encode, CRC, write), while the fsync row mostly measures the storage
+device and is reported but not bounded.
+
+The run writes ``BENCH_durability.json`` to the working directory — the
+repository's BENCH trajectory artifact, uploaded by CI.  The asserted
+bound is deliberately generous (CI machines are noisy); the JSON
+carries the real numbers.
+"""
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro import Database, DataType
+
+COMMITS = 300
+WARMUP = 20
+#: Upper bound on mean durable-no-fsync commit latency as a multiple of
+#: the in-memory mean.  The honest ratio is far lower; the margin keeps
+#: shared CI runners from flaking the build.
+MAX_NOFSYNC_MULTIPLE = 25.0
+
+
+def build_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    db.create_table("t", [("a", DataType.INTEGER, False),
+                          ("b", DataType.VARCHAR)],
+                    primary_key=("a",))
+    return db
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def measure_commits(db: Database) -> dict:
+    """Time COMMITS single-row autocommit inserts, skipping a warmup."""
+    for i in range(WARMUP):
+        db.insert("t", [(i, f"warm-{i}")])
+    latencies: list[float] = []
+    for i in range(WARMUP, WARMUP + COMMITS):
+        t0 = time.perf_counter()
+        db.insert("t", [(i, f"row-{i}")])
+        latencies.append(time.perf_counter() - t0)
+    latencies.sort()
+    return {
+        "commits": COMMITS,
+        "mean_us": statistics.fmean(latencies) * 1e6,
+        "p50_us": percentile(latencies, 0.50) * 1e6,
+        "p95_us": percentile(latencies, 0.95) * 1e6,
+        "p99_us": percentile(latencies, 0.99) * 1e6,
+        "commits_per_second": COMMITS / sum(latencies),
+    }
+
+
+def test_durability_overhead(tmp_path, benchmark):
+    memory = build_db()
+    memory_report = measure_commits(memory)
+
+    nofsync = build_db(path=str(tmp_path / "nofsync"), fsync=False)
+    nofsync_report = measure_commits(nofsync)
+    nofsync_report["wal_bytes"] = nofsync.durability_status()["wal_bytes"]
+    nofsync.close()
+
+    fsync = build_db(path=str(tmp_path / "fsync"), fsync=True)
+    fsync_report = measure_commits(fsync)
+    fsync_report["wal_bytes"] = fsync.durability_status()["wal_bytes"]
+    fsync.close()
+
+    nofsync_multiple = (nofsync_report["mean_us"]
+                        / memory_report["mean_us"])
+    fsync_multiple = fsync_report["mean_us"] / memory_report["mean_us"]
+    report = {
+        "config": {"commits": COMMITS, "warmup": WARMUP,
+                   "max_nofsync_multiple": MAX_NOFSYNC_MULTIPLE},
+        "memory": memory_report,
+        "durable_nofsync": nofsync_report,
+        "durable_fsync": fsync_report,
+        "nofsync_multiple": nofsync_multiple,
+        "fsync_multiple": fsync_multiple,
+    }
+    print()
+    for name in ("memory", "durable_nofsync", "durable_fsync"):
+        row = report[name]
+        print(f"{name:16s} mean {row['mean_us']:8.1f} us  "
+              f"p95 {row['p95_us']:8.1f} us  "
+              f"{row['commits_per_second']:8.0f} commits/s")
+    print(f"wal overhead: {nofsync_multiple:.2f}x without fsync, "
+          f"{fsync_multiple:.2f}x with fsync")
+
+    out = pathlib.Path("BENCH_durability.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    # The log's bookkeeping must stay a small constant factor; the
+    # fsync configuration is measured but bounded only by the device.
+    assert nofsync_multiple <= MAX_NOFSYNC_MULTIPLE
+    # A crash-consistent log actually exists in both durable setups.
+    assert nofsync_report["wal_bytes"] > 0
+    assert fsync_report["wal_bytes"] > 0
+
+    # pytest-benchmark datapoint: one durable no-fsync commit.
+    bench_db = build_db(path=str(tmp_path / "bench"), fsync=False)
+    counter = iter(range(100_000, 2_000_000))
+    benchmark(lambda: bench_db.insert("t", [(next(counter), "x")]))
+    bench_db.close()

@@ -26,26 +26,27 @@ from .database import (CORRELATED, DECORRELATE_ONLY, ENGINES, FULL, MODES,
                        PreparedStatement, QueryResult)
 from .feedback import (DEFAULT_Q_ERROR_THRESHOLD, FeedbackLoop,
                        NodeFeedback, PlanFeedback, q_error)
-from .errors import (BindError, CatalogError, ExecutionError,
-                     InjectedFault, OptimizerBudgetExceeded,
-                     ParameterError, PlanError, ProtocolError,
-                     QueryTimeout, ReproError, ResourceError,
-                     ResourceExhausted, ServerError, ServerOverloaded,
-                     SessionClosed, SqlSyntaxError,
-                     SubqueryReturnedMultipleRows, TransactionConflict,
-                     TransactionError)
+from .errors import (BindError, CatalogError, DurabilityError,
+                     ExecutionError, InjectedFault,
+                     OptimizerBudgetExceeded, ParameterError, PlanError,
+                     ProtocolError, QueryTimeout, RecoveryError,
+                     ReproError, ResourceError, ResourceExhausted,
+                     ServerError, ServerOverloaded, SessionClosed,
+                     SqlSyntaxError, SubqueryReturnedMultipleRows,
+                     TransactionConflict, TransactionError)
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .plancache import PlanCache
 # Imported last: the server package itself imports Database, so this
 # keeps the import graph acyclic.
-from .server import QueryServer, ServerClient, Session
+from .server import QueryServer, RetryPolicy, ServerClient, Session
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["BindError", "CORRELATED", "CardinalityCorrection",
            "CatalogError", "CorrectionStore", "DECORRELATE_ONLY",
            "DEFAULT_Q_ERROR_THRESHOLD",
-           "DataType", "Database", "ENGINES", "ExecutionError",
+           "DataType", "Database", "DurabilityError", "ENGINES",
+           "ExecutionError",
            "ExecutionMode", "ExplainOptions", "FeedbackLoop",
            "FULL", "InjectedFault", "Interval", "MODES", "NAIVE",
            "NodeFeedback",
@@ -53,8 +54,10 @@ __all__ = ["BindError", "CORRELATED", "CardinalityCorrection",
            "PlanCache", "PlanError", "PlanFeedback",
            "PreparedStatement", "ProtocolError",
            "QueryResult", "QueryServer",
-           "QueryStats", "QueryTimeout", "ReproError", "ResourceError",
-           "ResourceExhausted", "ResourceGovernor", "ServerClient",
+           "QueryStats", "QueryTimeout", "RecoveryError", "ReproError",
+           "ResourceError",
+           "ResourceExhausted", "ResourceGovernor", "RetryPolicy",
+           "ServerClient",
            "ServerError", "ServerOverloaded", "Session", "SessionClosed",
            "SqlSyntaxError", "SubqueryReturnedMultipleRows",
            "TransactionConflict", "TransactionError", "__version__",

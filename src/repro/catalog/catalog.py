@@ -91,8 +91,44 @@ class TableDef:
     def column_names(self) -> list[str]:
         return [c.name for c in self.columns]
 
+    def to_dict(self) -> dict:
+        """A JSON-safe description, round-tripped by
+        :func:`table_def_from_dict` (WAL DDL records, checkpoints)."""
+        return {
+            "name": self.name,
+            "columns": [[c.name, c.dtype.value, c.nullable]
+                        for c in self.columns],
+            "primary_key": list(self.primary_key),
+            "unique_keys": [list(k) for k in self.unique_keys],
+        }
+
     def __repr__(self) -> str:
         return f"TableDef({self.name}, {len(self.columns)} columns)"
+
+
+def table_def_from_dict(payload: dict) -> TableDef:
+    """Rebuild a :class:`TableDef` from :meth:`TableDef.to_dict` output."""
+    return TableDef(
+        payload["name"],
+        [ColumnDef(name, DataType(dtype), nullable)
+         for name, dtype, nullable in payload["columns"]],
+        primary_key=payload.get("primary_key", ()),
+        unique_keys=payload.get("unique_keys", ()))
+
+
+def index_def_from_dict(payload: dict) -> IndexDef:
+    """Rebuild an :class:`IndexDef` from :func:`index_def_to_dict` output."""
+    return IndexDef(payload["name"], payload["table"],
+                    tuple(payload["columns"]),
+                    kind=payload.get("kind", "hash"),
+                    unique=payload.get("unique", False))
+
+
+def index_def_to_dict(index: IndexDef) -> dict:
+    """A JSON-safe description of an index definition."""
+    return {"name": index.name, "table": index.table_name,
+            "columns": list(index.column_names), "kind": index.kind,
+            "unique": index.unique}
 
 
 class Catalog:
@@ -192,6 +228,21 @@ class Catalog:
             self._indexes[key] = index
             self.version += 1
             return index
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    def indexes(self) -> list[IndexDef]:
+        """All index definitions, in creation order."""
+        return list(self._indexes.values())
+
+    def views(self) -> list[tuple[str, str]]:
+        """All ``(name, defining SQL)`` view pairs, in creation order.
+
+        Creation order matters to consumers that re-register views (the
+        checkpointer): a view may reference earlier views.
+        """
+        return list(self._views.items())
 
     def indexes_on(self, table_name: str) -> list[IndexDef]:
         return [ix for ix in self._indexes.values()

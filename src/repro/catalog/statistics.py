@@ -276,6 +276,31 @@ class CorrectionStore:
         with self._lock:
             return list(self._entries.values())
 
+    def dump_state(self) -> list[dict]:
+        """JSON-safe form of every correction, for checkpoints.
+
+        Unlike :meth:`CardinalityCorrection.as_dict` (a display shape)
+        this keeps the staleness snapshot, so a correction restored
+        after recovery still evicts itself once the table drifts.
+        """
+        with self._lock:
+            return [{"table": c.table, "predicate_key": c.predicate_key,
+                     "estimated_rows": c.estimated_rows,
+                     "actual_rows": c.actual_rows, "q_error": c.q_error,
+                     "row_counts": dict(c.snapshot.row_counts)}
+                    for c in self._entries.values()]
+
+    def load_state(self, state: Sequence[dict]) -> None:
+        """Restore corrections dumped by :meth:`dump_state`."""
+        for entry in state:
+            self.record(CardinalityCorrection(
+                table=entry["table"],
+                predicate_key=entry["predicate_key"],
+                estimated_rows=entry["estimated_rows"],
+                actual_rows=entry["actual_rows"],
+                q_error=entry["q_error"],
+                snapshot=StatsSnapshot(dict(entry["row_counts"]))))
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

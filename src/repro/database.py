@@ -27,12 +27,18 @@ from .algebra import DataType, Get, RelationalOp, collect_nodes, explain
 from .analysis import PlanAnalyzer
 from .binder import Binder, BoundQuery
 from .catalog import Catalog, ColumnDef, IndexDef, TableDef
+from .catalog.catalog import (index_def_from_dict, index_def_to_dict,
+                              table_def_from_dict)
 from .catalog.statistics import CorrectionStore
 from .core.normalize import NormalizeConfig, normalize
 from .core.optimizer import Optimizer, OptimizerConfig
-from .errors import (BindError, ExecutionError, InjectedFault,
+from .durability import (DEFAULT_CHECKPOINT_BYTES, DurabilityManager,
+                         RecoveryState)
+from .durability.codec import decode_row
+from .errors import (BindError, CatalogError, DurabilityError,
+                     ExecutionError, InjectedFault,
                      OptimizerBudgetExceeded, ParameterError, PlanError,
-                     ReproError)
+                     RecoveryError, ReproError)
 from .executor import NaiveInterpreter
 from .executor.physical import PhysicalExecutor
 from .executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
@@ -332,7 +338,10 @@ class Database:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  plan_cache_shards: int = 1,
                  feedback: bool = False,
-                 q_error_threshold: float = DEFAULT_Q_ERROR_THRESHOLD
+                 q_error_threshold: float = DEFAULT_Q_ERROR_THRESHOLD,
+                 path: str | None = None,
+                 fsync: bool = True,
+                 checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES
                  ) -> None:
         if default_engine not in ENGINES:
             raise ValueError(
@@ -364,6 +373,28 @@ class Database:
                                     shards=plan_cache_shards)
         self._sessions_lock = threading.Lock()
         self._open_sessions: set[str] = set()
+        # -- durability (repro.durability) -----------------------------
+        # ``path=None`` (the default) is a purely in-memory database:
+        # no file is ever touched and nothing below runs.  With a path,
+        # recovery rebuilds the committed state from checkpoint + WAL
+        # *before* the first query, then every commit logs-and-fsyncs
+        # ahead of its in-memory install (``Storage.wal``) and every DDL
+        # logs ahead of its catalog change (:attr:`_ddl_lock`).
+        self.path = path
+        self._durability: DurabilityManager | None = None
+        self._ddl_lock: threading.RLock = threading.RLock()
+        if path is not None:
+            manager = DurabilityManager(path, fsync=fsync,
+                                        checkpoint_bytes=checkpoint_bytes)
+            try:
+                state = manager.recover()
+                self._apply_recovery(manager, state)
+            except BaseException:
+                manager.close()
+                raise
+            self._durability = manager
+            self._ddl_lock = manager.ddl_lock
+            self.storage.wal = manager
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -383,22 +414,51 @@ class Database:
             else:
                 defs.append(ColumnDef(spec[0], spec[1], spec[2]))
         table = TableDef(name, defs, primary_key, unique_keys)
-        self.catalog.create_table(table)
-        self.storage.create(table)
+        with self._ddl_lock:
+            if self._durability is not None:
+                # Validate → log → apply: a doomed create logs nothing,
+                # and because the lock spans log and apply, no commit
+                # can reference a table whose creation record trails it
+                # in the WAL.
+                if self.catalog.has_table(name):
+                    raise CatalogError(f"table {name!r} already exists")
+                if self.catalog.has_view(name):
+                    raise CatalogError(f"{name!r} already names a view")
+                self._durability.log_ddl({"kind": "create_table",
+                                          "table": table.to_dict()})
+            self.catalog.create_table(table)
+            self.storage.create(table)
         self.plan_cache.invalidate()
         self.corrections.invalidate(name)
+        self._maybe_checkpoint()
         return table
 
     def create_index(self, index_name: str, table_name: str,
                      column_names: Sequence[str],
                      kind: str = "hash") -> IndexDef:
         index = IndexDef(index_name, table_name, tuple(column_names), kind)
-        self.catalog.create_index(index)
-        # Copy-on-write: the indexed version is installed atomically, so
-        # concurrent readers see either the old version (no index) or
-        # the new one (index fully built), never a half-built index.
-        self.storage.apply_add_index(table_name, index)
+        with self._ddl_lock:
+            if self._durability is not None:
+                if self.catalog.has_index(index_name):
+                    raise CatalogError(
+                        f"index {index_name!r} already exists")
+                table = self.catalog.get_table(table_name)
+                for col in index.column_names:
+                    if not table.has_column(col):
+                        raise CatalogError(
+                            f"index column {col!r} not in table "
+                            f"{table.name!r}")
+                self._durability.log_ddl({"kind": "create_index",
+                                          "index": index_def_to_dict(
+                                              index)})
+            self.catalog.create_index(index)
+            # Copy-on-write: the indexed version is installed atomically,
+            # so concurrent readers see either the old version (no index)
+            # or the new one (index fully built), never a half-built
+            # index.
+            self.storage.apply_add_index(table_name, index)
         self.plan_cache.invalidate()
+        self._maybe_checkpoint()
         return index
 
     def create_view(self, name: str, sql: str) -> None:
@@ -409,19 +469,42 @@ class Database:
         if bound.parameters:
             raise BindError(
                 "view definitions cannot contain parameters")
-        self.catalog.create_view(name, sql)
+        with self._ddl_lock:
+            if self._durability is not None:
+                if self.catalog.has_view(name):
+                    raise CatalogError(f"view {name!r} already exists")
+                if self.catalog.has_table(name):
+                    raise CatalogError(f"{name!r} already names a table")
+                self._durability.log_ddl({"kind": "create_view",
+                                          "name": name, "sql": sql})
+            self.catalog.create_view(name, sql)
         self.plan_cache.invalidate()
+        self._maybe_checkpoint()
 
     def drop_view(self, name: str) -> None:
-        self.catalog.drop_view(name)
+        with self._ddl_lock:
+            if self._durability is not None:
+                if not self.catalog.has_view(name):
+                    raise CatalogError(f"unknown view {name!r}")
+                self._durability.log_ddl({"kind": "drop_view",
+                                          "name": name})
+            self.catalog.drop_view(name)
         self.plan_cache.invalidate()
+        self._maybe_checkpoint()
 
     def drop_table(self, name: str) -> None:
         """Drop a table, its storage and its indexes."""
-        self.catalog.drop_table(name)
-        self.storage.drop(name)
+        with self._ddl_lock:
+            if self._durability is not None:
+                if not self.catalog.has_table(name):
+                    raise CatalogError(f"unknown table {name!r}")
+                self._durability.log_ddl({"kind": "drop_table",
+                                          "name": name})
+            self.catalog.drop_table(name)
+            self.storage.drop(name)
         self.plan_cache.invalidate()
         self.corrections.invalidate(name)
+        self._maybe_checkpoint()
 
     def table_names(self) -> list[str]:
         return [t.name for t in self.catalog.tables()]
@@ -433,8 +516,134 @@ class Database:
     def insert(self, table_name: str,
                rows: Iterable[Sequence[Any] | dict]) -> int:
         """Autocommit batch insert (copy-on-write: all-or-nothing, and
-        concurrent snapshot readers never see a partial batch)."""
-        return self.storage.apply_insert(table_name, rows)
+        concurrent snapshot readers never see a partial batch).  On a
+        durable database the batch is logged and fsynced before it is
+        installed."""
+        count = self.storage.apply_insert(table_name, rows)
+        self._maybe_checkpoint()
+        return count
+
+    # -- durability ----------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when this database persists to disk (``path=`` given)."""
+        return self._durability is not None
+
+    def durability_status(self) -> dict | None:
+        """Durability observability (``None`` for in-memory databases):
+        WAL size, next LSN, last checkpoint and the recovery report."""
+        if self._durability is None:
+            return None
+        return self._durability.status()
+
+    def checkpoint(self, force: bool = True) -> bool:
+        """Checkpoint now: serialize the current state and rotate the
+        WAL.  Returns True when a checkpoint was published (``force=
+        False`` applies the size trigger; a busy writer lock makes the
+        attempt a no-op either way).  Raises
+        :class:`~repro.errors.DurabilityError` on an in-memory database.
+        """
+        if self._durability is None:
+            raise DurabilityError(
+                "checkpoint requires a durable database "
+                "(Database(path=...))")
+        return self._durability.checkpoint(self, force=force)
+
+    def close(self) -> None:
+        """Release durability file handles.  Safe to call repeatedly and
+        a no-op in-memory.  Deliberately does not checkpoint: the WAL
+        already holds every committed change and recovery replays it."""
+        if self._durability is not None:
+            self._durability.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _maybe_checkpoint(self) -> None:
+        """Size-triggered checkpoint, called after commit paths.  An
+        injected ``wal.checkpoint`` fault aborts the rotation but never
+        the triggering commit — the commit is already durable in the
+        WAL, and the previous checkpoint + intact log remain the
+        authoritative recovery source."""
+        if self._durability is None or not self._durability.checkpoint_due:
+            return
+        try:
+            self._durability.checkpoint(self)
+        except InjectedFault:
+            pass
+
+    def _apply_recovery(self, manager: DurabilityManager,
+                        state: RecoveryState) -> None:
+        """Rebuild the committed state: checkpoint image first, then the
+        WAL records newer than it, oldest first.  Runs before
+        ``self._durability`` is set, so nothing here re-logs."""
+        if state.checkpoint is not None:
+            self._load_checkpoint_image(state.checkpoint)
+        for record in manager.replay(state):
+            try:
+                self._apply_wal_record(record)
+            except RecoveryError:
+                raise
+            except ReproError as exc:
+                raise RecoveryError(
+                    f"replaying WAL record lsn={record.get('lsn')} "
+                    f"failed: {exc}") from exc
+        self.plan_cache.invalidate()
+
+    def _load_checkpoint_image(self, checkpoint: dict) -> None:
+        image = checkpoint["catalog"]
+        try:
+            for payload in image["tables"]:
+                table = table_def_from_dict(payload)
+                self.catalog.create_table(table)
+                self.storage.create(table)
+            for name, rows in checkpoint["rows"].items():
+                stored = self.storage.get(name)
+                for row in rows:
+                    stored.insert(decode_row(row))
+            for payload in image["indexes"]:
+                index = index_def_from_dict(payload)
+                self.catalog.create_index(index)
+                self.storage.apply_add_index(index.table_name, index)
+            for view in image["views"]:
+                self.catalog.create_view(view["name"], view["sql"])
+            self.corrections.load_state(checkpoint.get("corrections", []))
+        except ReproError as exc:
+            raise RecoveryError(
+                f"applying checkpoint lsn={checkpoint.get('lsn')} "
+                f"failed: {exc}") from exc
+
+    def _apply_wal_record(self, record: dict) -> None:
+        """Re-apply one replayed record through direct catalog/storage
+        calls (never the logging DDL/commit paths above)."""
+        kind = record.get("kind")
+        if kind == "commit":
+            for name, rows in record.get("writes", {}).items():
+                stored = self.storage.get(name)
+                for row in rows:
+                    stored.insert(decode_row(row))
+        elif kind == "create_table":
+            table = table_def_from_dict(record["table"])
+            self.catalog.create_table(table)
+            self.storage.create(table)
+        elif kind == "create_index":
+            index = index_def_from_dict(record["index"])
+            self.catalog.create_index(index)
+            self.storage.apply_add_index(index.table_name, index)
+        elif kind == "create_view":
+            self.catalog.create_view(record["name"], record["sql"])
+        elif kind == "drop_view":
+            self.catalog.drop_view(record["name"])
+        elif kind == "drop_table":
+            self.catalog.drop_table(record["name"])
+            self.storage.drop(record["name"])
+        else:
+            raise RecoveryError(f"unknown WAL record kind {kind!r} "
+                                f"(lsn={record.get('lsn')})")
 
     # -- queries -------------------------------------------------------------------
 

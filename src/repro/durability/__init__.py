@@ -1,0 +1,35 @@
+"""Crash-safe durability: write-ahead logging, checkpoints, recovery.
+
+Layers, bottom-up:
+
+* :mod:`~repro.durability.codec` — JSON value codec (tagged dates)
+  shared with the wire protocol;
+* :mod:`~repro.durability.wal` — the length-prefixed, CRC32-checksummed
+  append-only log with torn-tail detection;
+* :mod:`~repro.durability.checkpoint` — atomic full-image snapshots
+  (tmp + fsync + rename) that let the log rotate;
+* :mod:`~repro.durability.manager` — the :class:`DurabilityManager`
+  owning both files, the LSN counter and the locking protocol.
+
+The subsystem is orthogonal to query processing: ``Database(path=...)``
+turns it on, ``Database()`` never touches it, and no optimizer or
+executor code knows it exists.  ``python -m repro.durability <dir>``
+inspects a database directory offline.
+"""
+
+from .manager import (CHECKPOINT_FILENAME, DEFAULT_CHECKPOINT_BYTES,
+                      DurabilityManager, RecoveryReport, RecoveryState,
+                      WAL_FILENAME)
+from .wal import WriteAheadLog, read_wal, scan_records
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "DEFAULT_CHECKPOINT_BYTES",
+    "DurabilityManager",
+    "RecoveryReport",
+    "RecoveryState",
+    "WAL_FILENAME",
+    "WriteAheadLog",
+    "read_wal",
+    "scan_records",
+]

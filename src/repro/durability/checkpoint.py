@@ -1,0 +1,114 @@
+"""Checkpoints: an atomic full image of the database at one LSN.
+
+A checkpoint file is a single CRC-framed JSON document (the same framing
+as a WAL record, :mod:`repro.durability.wal`) holding the catalog
+(tables, indexes, views), every table's rows, the runtime cardinality
+corrections, and ``last_lsn`` — the newest WAL record the image covers.
+
+Publication protocol::
+
+    write <checkpoint>.tmp  →  fsync  →  rename over <checkpoint>  →
+    fsync directory  →  reset the WAL
+
+The rename is the commit point and is atomic, so a crash anywhere in the
+protocol leaves either the old checkpoint or the new one — never a
+blend.  Because every WAL record carries an LSN and replay skips records
+``<= last_lsn``, a crash *between* the rename and the WAL reset is also
+safe: the stale log records are simply skipped.  The ``wal.checkpoint``
+fault site fires just before the rename — the widest window in which an
+aborted checkpoint must leave the previous checkpoint and log intact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from .. import faultinject
+from ..catalog.catalog import index_def_to_dict
+from ..errors import RecoveryError
+from .codec import encode_row
+from .wal import decode_frame, encode_record
+
+#: Bump when the checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+def build_payload(catalog, snapshot, corrections, last_lsn: int) -> dict:
+    """The JSON image of one pinned state.
+
+    ``snapshot`` is a :class:`~repro.storage.table.StorageSnapshot`
+    (immutable, so building the image never blocks readers); ``catalog``
+    and ``corrections`` must be quiesced by the caller (the checkpointer
+    holds every writer lock and the log lock).
+    """
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "lsn": last_lsn,
+        "created_at": time.time(),
+        "catalog": {
+            "tables": [t.to_dict() for t in catalog.tables()],
+            "indexes": [index_def_to_dict(ix) for ix in catalog.indexes()],
+            "views": [{"name": name, "sql": sql}
+                      for name, sql in catalog.views()],
+        },
+        "rows": {name: [encode_row(row)
+                        for row in snapshot.get(name).rows]
+                 for name in snapshot.table_names()},
+        "corrections": corrections.dump_state(),
+    }
+
+
+def write_checkpoint(path: str, payload: dict, fsync: bool = True) -> None:
+    """Atomically publish ``payload`` as the checkpoint at ``path``."""
+    data = encode_record(payload)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    faultinject.hit("wal.checkpoint")
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_directory(os.path.dirname(path) or ".")
+
+
+def load_checkpoint(path: str) -> dict | None:
+    """Read and validate a checkpoint; ``None`` when none exists yet.
+
+    The atomic-rename protocol means a present-but-corrupt checkpoint
+    was damaged outside the database's own writes; recovery refuses to
+    guess and raises :class:`~repro.errors.RecoveryError`.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    decoded = decode_frame(data)
+    if decoded is None:
+        raise RecoveryError(
+            f"checkpoint {path!r} is corrupt (bad frame or checksum)")
+    payload, consumed = decoded
+    if (not isinstance(payload, dict)
+            or payload.get("format") != CHECKPOINT_FORMAT
+            or "lsn" not in payload or consumed != len(data)):
+        raise RecoveryError(
+            f"checkpoint {path!r} is corrupt or from an unknown format")
+    return payload
+
+
+def _fsync_directory(directory: str) -> None:
+    """Durably record the rename in the directory entry (POSIX); best
+    effort on platforms that cannot fsync directories."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

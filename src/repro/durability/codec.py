@@ -1,0 +1,32 @@
+"""JSON value codec shared by the WAL, checkpoints and the wire protocol.
+
+JSON cannot carry dates natively; they are tagged as
+``{"__date__": "YYYY-MM-DD"}`` and reconstructed on decode, so logged and
+checkpointed rows round-trip bit-identically — the same convention the
+wire protocol uses (:mod:`repro.server.wire` re-exports these).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__date__"}:
+        return datetime.date.fromisoformat(value["__date__"])
+    return value
+
+
+def encode_row(row) -> list:
+    return [encode_value(v) for v in row]
+
+
+def decode_row(row) -> tuple:
+    return tuple(decode_value(v) for v in row)

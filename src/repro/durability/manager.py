@@ -1,0 +1,231 @@
+"""The durability manager: one database's WAL + checkpoint lifecycle.
+
+This is the single object the rest of the engine talks to.  It is
+deliberately *orthogonal* to query processing: the optimizer, executors
+and algebra never see it.  Its commit hook hangs off
+:meth:`repro.storage.table.Storage.install_many` (``Storage.wal``), its
+DDL hook off the :class:`~repro.database.Database` facade, and recovery
+rebuilds plain catalog/storage state before the first query runs.
+
+Concurrency:
+
+* ``log_lock`` serializes appends; every record gets the next LSN under
+  it.  Commits hold their tables' writer locks *around* the append, so
+  log order equals install order per table.
+* ``ddl_lock`` serializes schema changes so a DDL record is always
+  appended before the change is visible — no commit can reference an
+  object whose creation record trails it in the log.
+* :meth:`checkpoint` takes every writer lock (sorted, with a timeout —
+  an aborted checkpoint is a skipped checkpoint, never a deadlock),
+  then the log lock, pins a storage snapshot and publishes it.  Readers
+  are untouched throughout: they read pinned immutable snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from .. import faultinject
+from ..errors import DurabilityError
+from .checkpoint import (build_payload, load_checkpoint, write_checkpoint)
+from .codec import encode_row
+from .wal import WriteAheadLog, read_wal
+
+#: Log size that triggers a checkpoint + rotation (bytes).
+DEFAULT_CHECKPOINT_BYTES = 4 * 1024 * 1024
+
+WAL_FILENAME = "wal.log"
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What recovery found and did, kept for observability (``health``)."""
+
+    checkpoint_lsn: int
+    replayed_records: int
+    truncated_bytes: int
+    wal_bytes: int
+
+    def as_dict(self) -> dict:
+        return {"checkpoint_lsn": self.checkpoint_lsn,
+                "replayed_records": self.replayed_records,
+                "truncated_bytes": self.truncated_bytes,
+                "wal_bytes": self.wal_bytes}
+
+
+@dataclass
+class RecoveryState:
+    """The parsed durable state handed to the database for application."""
+
+    checkpoint: dict | None
+    records: list[dict] = field(default_factory=list)
+
+
+class DurabilityManager:
+    """WAL, checkpoints and recovery for one database directory."""
+
+    def __init__(self, path: str, fsync: bool = True,
+                 checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES) -> None:
+        if checkpoint_bytes < 1:
+            raise ValueError("checkpoint_bytes must be at least 1")
+        self.directory = path
+        self.fsync = fsync
+        self.checkpoint_bytes = checkpoint_bytes
+        os.makedirs(path, exist_ok=True)
+        self.wal_path = os.path.join(path, WAL_FILENAME)
+        self.checkpoint_path = os.path.join(path, CHECKPOINT_FILENAME)
+        #: Serializes DDL end to end (validate → log → apply).
+        self.ddl_lock = threading.RLock()
+        self._log_lock = threading.Lock()
+        self._wal: WriteAheadLog | None = None
+        self._next_lsn = 1
+        self._last_checkpoint_lsn = 0
+        self._last_checkpoint_at: float | None = None
+        self._closed = False
+        self.recovery: RecoveryReport | None = None
+
+    # -- recovery ------------------------------------------------------------------
+
+    def recover(self) -> RecoveryState:
+        """Load the checkpoint, truncate the WAL's torn tail, and return
+        the records that must be replayed on top of the checkpoint.
+
+        Called exactly once, before the first append.  The torn tail —
+        any bytes after the last fully valid record — is physically
+        truncated so the file is again exactly the committed prefix.
+        """
+        checkpoint = load_checkpoint(self.checkpoint_path)
+        records, valid, total = read_wal(self.wal_path)
+        if valid < total:
+            os.truncate(self.wal_path, valid)
+        base = int(checkpoint["lsn"]) if checkpoint else 0
+        replay = [r for r in records if r["lsn"] > base]
+        last_lsn = max([base] + [r["lsn"] for r in records])
+        self._next_lsn = last_lsn + 1
+        self._last_checkpoint_lsn = base
+        if checkpoint:
+            self._last_checkpoint_at = checkpoint.get("created_at")
+        self._wal = WriteAheadLog(self.wal_path, fsync=self.fsync,
+                                  size=valid)
+        self.recovery = RecoveryReport(
+            checkpoint_lsn=base, replayed_records=len(replay),
+            truncated_bytes=total - valid, wal_bytes=valid)
+        return RecoveryState(checkpoint=checkpoint, records=replay)
+
+    def replay(self, state: RecoveryState) -> Iterator[dict]:
+        """Yield the records to re-apply, oldest first (the
+        ``recovery.replay`` fault site fires per record)."""
+        for record in state.records:
+            faultinject.hit("recovery.replay")
+            yield record
+
+    # -- logging -------------------------------------------------------------------
+
+    def log_commit(self, changes: Mapping[str, Sequence[tuple]]) -> None:
+        """Append one transaction's row deltas (and fsync) — called by
+        ``Storage.install_many`` *before* the in-memory install, while
+        the committer holds every affected table's writer lock."""
+        writes = {name.lower(): [encode_row(row) for row in rows]
+                  for name, rows in changes.items() if rows}
+        if writes:
+            self.append({"kind": "commit", "writes": writes})
+
+    def log_ddl(self, record: dict) -> None:
+        """Append one DDL record (caller holds :attr:`ddl_lock`)."""
+        self.append(record)
+
+    def append(self, record: dict) -> int:
+        """Stamp the next LSN onto ``record`` and append it durably."""
+        with self._log_lock:
+            wal = self._require_open()
+            stamped = dict(record, lsn=self._next_lsn)
+            size = wal.append(stamped)
+            self._next_lsn += 1
+            return size
+
+    # -- checkpointing -------------------------------------------------------------
+
+    @property
+    def wal_size(self) -> int:
+        with self._log_lock:
+            return self._wal.size if self._wal is not None else 0
+
+    @property
+    def checkpoint_due(self) -> bool:
+        return self.wal_size >= self.checkpoint_bytes
+
+    def checkpoint(self, database, force: bool = False,
+                   lock_timeout: float = 5.0) -> bool:
+        """Serialize the current state and rotate the log.
+
+        Returns True when a checkpoint was published.  Failure modes are
+        all safe-by-construction: an unacquirable writer lock or an
+        injected ``wal.checkpoint`` fault aborts before the atomic
+        rename, leaving the previous checkpoint and the intact WAL as
+        the authoritative state.
+        """
+        storage = database.storage
+        held: list = []
+        for name, lock in storage.all_writer_locks():
+            if lock.acquire(timeout=lock_timeout):
+                held.append(lock)
+            else:
+                for acquired in held:
+                    acquired.release()
+                return False  # busy; try again at the next trigger
+        try:
+            with self._log_lock:
+                wal = self._require_open()
+                if not force and wal.size < self.checkpoint_bytes:
+                    return False  # lost the race with another checkpoint
+                payload = build_payload(
+                    database.catalog, storage.snapshot(),
+                    database.corrections, last_lsn=self._next_lsn - 1)
+                write_checkpoint(self.checkpoint_path, payload,
+                                 fsync=self.fsync)
+                wal.reset()
+                self._last_checkpoint_lsn = payload["lsn"]
+                self._last_checkpoint_at = payload["created_at"]
+                return True
+        finally:
+            for lock in held:
+                lock.release()
+
+    # -- observability / lifecycle ---------------------------------------------------
+
+    def status(self) -> dict:
+        """One flat liveness/readiness snapshot for ``health`` and tests."""
+        with self._log_lock:
+            wal_bytes = self._wal.size if self._wal is not None else 0
+            next_lsn = self._next_lsn
+        return {
+            "enabled": True,
+            "path": self.directory,
+            "fsync": self.fsync,
+            "wal_bytes": wal_bytes,
+            "next_lsn": next_lsn,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "last_checkpoint_lsn": self._last_checkpoint_lsn,
+            "last_checkpoint_at": self._last_checkpoint_at,
+            "recovery": (self.recovery.as_dict()
+                         if self.recovery is not None else None),
+        }
+
+    def close(self) -> None:
+        """Close file handles.  Deliberately does *not* checkpoint: the
+        WAL already holds everything committed, and recovery replays it.
+        """
+        with self._log_lock:
+            self._closed = True
+            if self._wal is not None:
+                self._wal.close()
+
+    def _require_open(self) -> WriteAheadLog:
+        if self._closed or self._wal is None:
+            raise DurabilityError(
+                "durability manager is closed (or recover() never ran)")
+        return self._wal

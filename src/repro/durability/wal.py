@@ -1,0 +1,185 @@
+"""The write-ahead log: length-prefixed, CRC32-checksummed JSON records.
+
+On-disk format — a flat sequence of records, each::
+
+    [4 bytes little-endian payload length]
+    [4 bytes little-endian CRC32 of the payload]
+    [payload: compact JSON, one object per record]
+
+Every record carries a monotonically increasing ``lsn``.  A crash can
+leave at most a *torn tail*: a partially written final record.  The CRC
+plus length prefix make the torn tail detectable with certainty (up to
+CRC collision), and :func:`scan_records` stops at the first byte that is
+not part of a fully valid record — recovery truncates there and the log
+is again exactly the committed prefix.
+
+Write protocol (ARIES-style WAL-before-install): the committer appends
+and fsyncs its record *before* installing the new table versions in
+memory.  A crash after fsync but before install replays the commit; a
+crash before the record is complete loses the commit entirely; there is
+no schedule that applies half of one.
+
+Fault-injection sites: ``wal.append`` fires before any byte is written
+(torn mode persists a truncated prefix of the record first, simulating a
+crash mid-write); ``wal.fsync`` fires after the OS-level write but
+before fsync, the window where durability is genuinely unknown.  A
+failed append never poisons the log: the next append truncates back to
+the last known-good boundary before writing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any
+
+from .. import faultinject
+from ..errors import DurabilityError, InjectedFault
+
+_HEADER = struct.Struct("<II")
+
+#: Bytes of framing per record (length + CRC32).
+HEADER_BYTES = _HEADER.size
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap a JSON payload in the length+CRC frame."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_record(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    return frame_record(payload)
+
+
+def decode_frame(data: bytes, offset: int = 0) -> "tuple[Any, int] | None":
+    """Decode one record at ``offset``; ``None`` when the bytes there are
+    not a complete, checksum-valid record (the torn tail)."""
+    header = data[offset:offset + HEADER_BYTES]
+    if len(header) < HEADER_BYTES:
+        return None
+    length, crc = _HEADER.unpack(header)
+    start = offset + HEADER_BYTES
+    payload = data[start:start + length]
+    if len(payload) < length or zlib.crc32(payload) != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    return record, start + length
+
+
+def scan_records(data: bytes) -> tuple[list[dict], int]:
+    """Parse the longest valid record prefix of ``data``.
+
+    Returns ``(records, valid_bytes)``: everything after ``valid_bytes``
+    is a torn tail (or garbage) and must be truncated by recovery.
+    """
+    records: list[dict] = []
+    offset = 0
+    while True:
+        start = offset
+        decoded = decode_frame(data, offset)
+        if decoded is None:
+            return records, start
+        record, offset = decoded
+        if not isinstance(record, dict) or "lsn" not in record:
+            # Structurally valid JSON that is not a WAL record: treat as
+            # corruption starting at this record's frame.
+            return records, start
+        records.append(record)
+
+
+def read_wal(path: str) -> tuple[list[dict], int, int]:
+    """Read a WAL file: ``(records, valid_bytes, total_bytes)``.
+
+    A missing file reads as empty (first open of a fresh database).
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    records, valid = scan_records(data)
+    return records, valid, len(data)
+
+
+class WriteAheadLog:
+    """Appender over one open WAL file.
+
+    Not thread-safe on its own — the :class:`~repro.durability.manager.
+    DurabilityManager` serializes appends under its log lock.
+    """
+
+    def __init__(self, path: str, fsync: bool = True,
+                 size: int | None = None) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._file = open(path, "ab")
+        #: End offset of the last fully written record — the log's
+        #: known-good boundary.  Bytes past it (from a failed append)
+        #: are truncated before the next write.
+        self._good = os.path.getsize(path) if size is None else size
+
+    @property
+    def size(self) -> int:
+        """Bytes of fully appended records (excludes any failed tail)."""
+        return self._good
+
+    def append(self, record: dict) -> int:
+        """Append one record, fsync, and return the new log size.
+
+        Raises whatever the injected fault sites raise; after a failure
+        the in-memory state is unchanged and the next append self-heals
+        the file back to the last good boundary first.
+        """
+        if self._file.closed:
+            raise DurabilityError(f"write-ahead log {self.path!r} is closed")
+        data = encode_record(record)
+        self._heal()
+        try:
+            faultinject.hit("wal.append")
+        except InjectedFault as fault:
+            if fault.torn:
+                # Crash mid-write: persist a prefix that ends mid-record
+                # (and mid-byte of the length/CRC/payload stream), the
+                # exact shape recovery's torn-tail truncation must fix.
+                self._file.write(data[:max(1, len(data) // 2)])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            raise
+        self._file.write(data)
+        self._file.flush()
+        # The record is written but not yet fsynced: a crash here may or
+        # may not keep it.  The commit is reported failed either way, so
+        # recovery presenting it is a legal (if surprising) outcome —
+        # the standard "commit outcome unknown" window.
+        faultinject.hit("wal.fsync")
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._good += len(data)
+        return self._good
+
+    def _heal(self) -> None:
+        """Truncate any partial bytes a previous failed append left."""
+        self._file.flush()
+        if os.path.getsize(self.path) != self._good:
+            os.truncate(self.path, self._good)
+
+    def reset(self) -> None:
+        """Empty the log (checkpoint rotation; caller holds the log lock)."""
+        self._file.close()
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._file = open(self.path, "ab")
+        self._good = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

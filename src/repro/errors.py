@@ -108,12 +108,32 @@ class InjectedFault(ReproError):
 
     Only ever raised while a test has explicitly armed an injection
     point; production code paths treat it like the infrastructure
-    failure it simulates.
+    failure it simulates.  ``torn`` marks a torn-write fault: the
+    instrumented writer (the WAL) persists a deliberately truncated
+    prefix of the record before raising, simulating a crash mid-write.
     """
 
-    def __init__(self, site: str) -> None:
-        super().__init__(f"injected fault at {site!r}")
+    def __init__(self, site: str, torn: bool = False) -> None:
+        super().__init__(f"injected fault at {site!r}"
+                         + (" (torn write)" if torn else ""))
         self.site = site
+        self.torn = torn
+
+
+class DurabilityError(ReproError):
+    """Base class for write-ahead-log and checkpoint failures
+    (:mod:`repro.durability`)."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not restore a consistent database.
+
+    Raised for a corrupt checkpoint (the WAL's torn *tail* is expected
+    and silently truncated — corruption in the checkpoint or in the
+    middle of the log is not) and for replay of a record that no longer
+    applies.  Opening the database fails loudly rather than serving a
+    state that is not the committed prefix.
+    """
 
 
 class ServerError(ReproError):

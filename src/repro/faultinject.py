@@ -41,22 +41,32 @@ INJECTION_SITES = frozenset({
     "wire.decode",          # per wire-protocol request decode
     "feedback.record",      # per feedback-loop observation; a fault here
                             # drops the observation, never fails the query
+    "wal.append",           # per WAL record, before any byte is written;
+                            # torn mode persists a partial record first
+    "wal.fsync",            # per WAL record, after the write but before
+                            # fsync (the record may or may not survive)
+    "wal.checkpoint",       # per checkpoint, before the atomic rename
+                            # publishes it (old checkpoint + log intact)
+    "recovery.replay",      # per WAL record applied during recovery
 })
 
 
 class _Trigger:
     """One armed failure: fires on the n-th hit, always, or at a rate."""
 
-    __slots__ = ("site", "countdown", "always", "rate", "rng", "fired")
+    __slots__ = ("site", "countdown", "always", "rate", "rng", "fired",
+                 "torn")
 
     def __init__(self, site: str, countdown: Optional[int] = None,
                  always: bool = False, rate: float = 0.0,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 torn: bool = False) -> None:
         self.site = site
         self.countdown = countdown
         self.always = always
         self.rate = rate
         self.rng = rng
+        self.torn = torn
         self.fired = 0
 
     def fires(self) -> bool:
@@ -90,7 +100,7 @@ class _FaultPlan:
         for trigger in self.triggers.get(site, ()):
             if trigger.fires():
                 trigger.fired += 1
-                raise InjectedFault(site)
+                raise InjectedFault(site, torn=trigger.torn)
 
     def __bool__(self) -> bool:
         return bool(self.triggers)
@@ -137,18 +147,23 @@ def _armed(triggers: Sequence[_Trigger]) -> Iterator[list[_Trigger]]:
             _active = None
 
 
-def fail_at(site: str, n: int = 1) -> "contextmanager":
-    """Arm ``site`` to fail exactly once, on its ``n``-th hit."""
+def fail_at(site: str, n: int = 1, torn: bool = False) -> "contextmanager":
+    """Arm ``site`` to fail exactly once, on its ``n``-th hit.
+
+    ``torn=True`` makes the fault a *torn write*: an instrumented writer
+    (the WAL) persists a truncated prefix of the record before raising,
+    simulating a crash partway through a disk write.
+    """
     _validate(site)
     if n < 1:
         raise ValueError("n must be at least 1")
-    return _armed([_Trigger(site, countdown=n)])
+    return _armed([_Trigger(site, countdown=n, torn=torn)])
 
 
-def fail_always(site: str) -> "contextmanager":
+def fail_always(site: str, torn: bool = False) -> "contextmanager":
     """Arm ``site`` to fail on every hit while the context is open."""
     _validate(site)
-    return _armed([_Trigger(site, always=True)])
+    return _armed([_Trigger(site, always=True, torn=torn)])
 
 
 def fail_randomly(rate: float, seed: int,

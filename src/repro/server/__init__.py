@@ -13,7 +13,7 @@ Layers, bottom-up:
 """
 
 from .admission import AdmissionController, Lease, ResourcePool
-from .client import ClientResult, ServerClient
+from .client import ClientResult, RetryPolicy, ServerClient
 from .sessions import Session, SessionStats
 from .wire import QueryServer
 
@@ -23,6 +23,7 @@ __all__ = [
     "Lease",
     "QueryServer",
     "ResourcePool",
+    "RetryPolicy",
     "ServerClient",
     "Session",
     "SessionStats",

@@ -100,6 +100,10 @@ class _Transaction:
         self.snapshot = storage.snapshot()
         self.lock_timeout = lock_timeout
         self.pending: dict[str, StoredTable] = {}
+        #: Logical row deltas per table (the coerced stored tuples) —
+        #: what commit hands to the write-ahead log on a durable
+        #: database.
+        self.changes: dict[str, list[tuple]] = {}
         self.locks: dict[str, threading.Lock] = {}
         #: Set when a statement failed half-applied; the transaction can
         #: then only be rolled back (statement-level undo would require
@@ -142,15 +146,18 @@ class _Transaction:
                      ) -> int:
         table = self._writable(name)
         try:
-            return table.insert_many(rows)
+            inserted = table.insert_rows(rows)
         except BaseException:
             self.failed = True
             raise
+        self.changes.setdefault(name.lower(), []).extend(inserted)
+        return len(inserted)
 
     def commit(self) -> None:
         try:
             if self.pending:
-                self.storage.install_many(self.pending)
+                self.storage.install_many(self.pending,
+                                          changes=self.changes)
         finally:
             self._release()
 
@@ -162,6 +169,7 @@ class _Transaction:
             lock.release()
         self.locks.clear()
         self.pending.clear()
+        self.changes.clear()
 
 
 class Session:
@@ -218,6 +226,7 @@ class Session:
         finally:
             self._txn = None
         self.stats.commits += 1
+        self._db._maybe_checkpoint()
 
     def rollback(self) -> None:
         """Discard staged writes and end the transaction (no-op when no

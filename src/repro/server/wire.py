@@ -9,7 +9,12 @@ only*: the connection stays up and the next line is processed normally.
 
 Supported ops: ``query``, ``explain``, ``begin``, ``commit``,
 ``rollback``, ``insert``, ``create_table``, ``create_index``,
-``drop_table``, ``metrics``, ``ping``, ``close``.
+``drop_table``, ``metrics``, ``health``, ``ping``, ``close``.
+
+Shutdown is graceful: :meth:`QueryServer.drain` stops accepting new
+connections and rejects new work with a clean ``ServerError`` while
+in-flight requests finish; :meth:`QueryServer.stop` drains, waits up to
+``drain_timeout`` for in-flight work, then tears the server down.
 
 Queries and inserts are admitted through the
 :class:`~repro.server.admission.AdmissionController` (fair scheduling +
@@ -24,42 +29,66 @@ results round-trip bit-identically.
 
 from __future__ import annotations
 
-import datetime
 import json
 import socket
 import threading
-from typing import Any, Optional
+import time
+from typing import Optional
 
 from .. import faultinject
 from ..algebra.datatypes import DataType
+# The tagged-JSON value codec is shared with the durability subsystem
+# (WAL records and checkpoints use the same representation); re-exported
+# here because it is part of this module's public wire contract.
+from ..durability.codec import (decode_row, decode_value,  # noqa: F401
+                                encode_row, encode_value)
 from ..errors import ProtocolError, ReproError, ServerError
 from .admission import (AdmissionController, DEFAULT_MAX_QUEUE_DEPTH,
                         DEFAULT_MAX_WORKERS, ResourcePool)
 
 _DTYPES = {d.value: d for d in DataType}
 
-
-# -- value codec (shared with the client) ------------------------------------------
-
-
-def encode_value(value: Any) -> Any:
-    if isinstance(value, datetime.date):
-        return {"__date__": value.isoformat()}
-    return value
+#: Ops still served while draining: observability and cleanup only.
+_DRAIN_ALLOWED_OPS = frozenset(
+    {"ping", "health", "metrics", "rollback", "close"})
 
 
-def decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and set(value) == {"__date__"}:
-        return datetime.date.fromisoformat(value["__date__"])
-    return value
+class _LineReader:
+    """Buffered socket line reader that survives ``recv`` timeouts.
 
+    ``readline`` returns ``None`` on a timeout (poll again), ``b""`` at
+    EOF, otherwise one line.  A timeout never loses buffered partial
+    data — the property a ``makefile``-based reader cannot offer, and
+    the one that lets connection loops re-check shutdown flags while a
+    client is idle.
+    """
 
-def encode_row(row) -> list:
-    return [encode_value(v) for v in row]
+    __slots__ = ("_conn", "_buffer", "_eof")
 
+    def __init__(self, conn: socket.socket) -> None:
+        self._conn = conn
+        self._buffer = bytearray()
+        self._eof = False
 
-def decode_row(row) -> tuple:
-    return tuple(decode_value(v) for v in row)
+    def readline(self) -> bytes | None:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline + 1])
+                del self._buffer[:newline + 1]
+                return line
+            if self._eof:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line  # b"" once fully drained
+            try:
+                chunk = self._conn.recv(65536)
+            except socket.timeout:
+                return None
+            if not chunk:
+                self._eof = True
+                continue
+            self._buffer.extend(chunk)
 
 
 def error_payload(exc: BaseException) -> dict:
@@ -95,7 +124,8 @@ class QueryServer:
                  query_row_budget: Optional[int] = None,
                  lease_timeout: float = 5.0,
                  request_timeout: Optional[float] = 30.0,
-                 lock_timeout: float = 5.0) -> None:
+                 lock_timeout: float = 5.0,
+                 drain_timeout: float = 5.0) -> None:
         self.database = database
         self.admission = AdmissionController(max_workers, max_queue_depth)
         self.pool = ResourcePool(pool_memory_rows, pool_row_budget)
@@ -112,12 +142,16 @@ class QueryServer:
         self.lease_timeout = lease_timeout
         self.request_timeout = request_timeout
         self.lock_timeout = lock_timeout
+        self.drain_timeout = drain_timeout
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self.address = self._listener.getsockname()
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_threads: list[threading.Thread] = []
         self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._active_lock = threading.Lock()
+        self._active_requests = 0
         self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------------
@@ -130,9 +164,32 @@ class QueryServer:
         self._accept_thread.start()
         return self
 
-    def stop(self) -> None:
+    def drain(self) -> None:
+        """Stop accepting new connections and reject new work.
+
+        In-flight requests run to completion; observability ops
+        (``ping``, ``health``, ``metrics``) and connection cleanup
+        (``rollback``, ``close``) still work, so clients and load
+        balancers can see the drain instead of hitting a dead socket.
+        """
+        self._draining.set()
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain, wait for in-flight requests up to
+        ``drain_timeout`` (the constructor's by default), then tear the
+        server down.  Stragglers that outlive the deadline get the same
+        clean drain rejection on their next request."""
         if self._stopping.is_set():
             return
+        budget = (drain_timeout if drain_timeout is not None
+                  else self.drain_timeout)
+        deadline = time.monotonic() + budget
+        self.drain()
+        while time.monotonic() < deadline:
+            with self._active_lock:
+                if self._active_requests == 0:
+                    break
+            time.sleep(0.02)
         self._stopping.set()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
@@ -152,7 +209,7 @@ class QueryServer:
     # -- accept / connection loops -------------------------------------------------
 
     def _accept_loop(self) -> None:
-        while not self._stopping.is_set():
+        while not self._stopping.is_set() and not self._draining.is_set():
             try:
                 conn, _addr = self._listener.accept()
             except socket.timeout:
@@ -170,10 +227,13 @@ class QueryServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         session = self.database.session(lock_timeout=self.lock_timeout)
-        reader = conn.makefile("rb")
+        conn.settimeout(0.2)
+        reader = _LineReader(conn)
         try:
             while not self._stopping.is_set():
                 line = reader.readline()
+                if line is None:
+                    continue  # idle poll: re-check the shutdown flag
                 if not line:
                     return
                 if not line.strip():
@@ -185,7 +245,6 @@ class QueryServer:
         except (OSError, ValueError):
             pass  # client went away mid-write; the session cleanup below runs
         finally:
-            reader.close()
             try:
                 conn.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -205,6 +264,13 @@ class QueryServer:
         except Exception as exc:
             return {"ok": False, "error": error_payload(
                 ProtocolError(f"undecodable request: {exc}"))}, True
+        if (self._draining.is_set()
+                and request["op"] not in _DRAIN_ALLOWED_OPS):
+            return {"ok": False, "error": error_payload(ServerError(
+                "server is shutting down; request rejected during "
+                "drain"))}, True
+        with self._active_lock:
+            self._active_requests += 1
         try:
             return self._dispatch(session, request), True
         except ReproError as exc:
@@ -212,6 +278,9 @@ class QueryServer:
         except Exception as exc:  # defensive: one bad request, not the server
             return {"ok": False, "error": error_payload(
                 ServerError(f"internal error: {exc}"))}, True
+        finally:
+            with self._active_lock:
+                self._active_requests -= 1
 
     # -- request dispatch ----------------------------------------------------------
 
@@ -346,7 +415,33 @@ class QueryServer:
     def _op_metrics(self, session, request: dict) -> dict:
         return {"ok": True, "metrics": self.metrics()}
 
+    def _op_health(self, session, request: dict) -> dict:
+        return {"ok": True, "health": self.health()}
+
     # -- observability -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness/readiness probe: serving state, load, and (on a
+        durable database) WAL size, last checkpoint and the recovery
+        report.  ``ready`` flips to False the moment a drain starts."""
+        stopping = self._stopping.is_set()
+        draining = self._draining.is_set()
+        with self._active_lock:
+            active = self._active_requests
+        durability = self.database.durability_status()
+        return {
+            "status": ("stopping" if stopping
+                       else "draining" if draining else "ok"),
+            "live": not stopping,
+            "ready": not (stopping or draining),
+            "active_requests": active,
+            "admission_queue_depth": self.admission.metrics()[
+                "queue_depth"],
+            "open_sessions": self.database.open_session_count,
+            "plan_cache_hit_rate": self.database.plan_cache.stats.hit_rate,
+            "durability": (durability if durability is not None
+                           else {"enabled": False}),
+        }
 
     def metrics(self) -> dict:
         """One flat snapshot of server health for dashboards and tests."""

@@ -45,7 +45,7 @@ class StoredTable:
 
     # -- mutation ---------------------------------------------------------------
 
-    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
+    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> tuple:
         row = self._coerce(values)
         self._check_types(row)
         self._check_keys(row)
@@ -57,13 +57,16 @@ class StoredTable:
             index.insert(row, position)
         self._stats_cache = None
         self._columns_cache = None
+        return row
+
+    def insert_rows(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
+                    ) -> list[tuple]:
+        """Insert a batch and return the coerced stored tuples — the
+        exact form commit paths log to the write-ahead log."""
+        return [self.insert(values) for values in rows]
 
     def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
-        count = 0
-        for values in rows:
-            self.insert(values)
-            count += 1
-        return count
+        return len(self.insert_rows(rows))
 
     def _coerce(self, values: Sequence[Any] | Mapping[str, Any]) -> tuple:
         definition = self.definition
@@ -250,6 +253,11 @@ class Storage:
         # and release on the connection thread at commit.
         self._writer_locks: dict[str, threading.Lock] = {}
         self.data_version = 0
+        #: Write-ahead hook (duck-typed ``log_commit``), set by a
+        #: durable :class:`~repro.database.Database`.  ``None`` — the
+        #: default — keeps the store purely in-memory; nothing else in
+        #: this module changes behavior.
+        self.wal = None
 
     def create(self, definition: TableDef) -> StoredTable:
         key = definition.name.lower()
@@ -291,6 +299,13 @@ class Storage:
                     f"no storage for table {name!r}")
             return self._writer_locks.setdefault(key, threading.Lock())
 
+    def all_writer_locks(self) -> list[tuple[str, threading.Lock]]:
+        """Every table's writer lock, sorted by name — the checkpointer
+        acquires them all (in this deterministic order) to quiesce
+        commits without blocking readers."""
+        with self._lock:
+            return sorted(self._writer_locks.items())
+
     def install(self, name: str, table: StoredTable) -> None:
         """Atomically publish ``table`` as the current version of ``name``.
 
@@ -298,7 +313,9 @@ class Storage:
         """
         self.install_many({name: table})
 
-    def install_many(self, tables: Mapping[str, StoredTable]) -> None:
+    def install_many(self, tables: Mapping[str, StoredTable],
+                     changes: Mapping[str, Sequence[tuple]] | None = None
+                     ) -> None:
         """Atomically publish new versions for several tables at once
         (one transaction commit = one install, one version bump).
 
@@ -307,10 +324,23 @@ class Storage:
         existence check covers every table before any is swapped, so a
         failed commit installs nothing — readers see either all of the
         transaction's versions or none of them.
+
+        ``changes`` carries the transaction's logical row deltas (table
+        → inserted tuples).  On a durable database they are appended to
+        the write-ahead log — and fsynced — strictly *before* the
+        install (WAL-before-install): a commit whose log write fails
+        installs nothing, and a crash between log and install replays
+        the commit at recovery.
         """
+        keys = {name.lower(): table for name, table in tables.items()}
+        with self._lock:
+            for key in keys:
+                if key not in self._tables:
+                    raise ExecutionError(f"no storage for table {key!r}")
+        if self.wal is not None and changes:
+            self.wal.log_commit(changes)
         faultinject.hit("snapshot.install")
         with self._lock:
-            keys = {name.lower(): table for name, table in tables.items()}
             for key in keys:
                 if key not in self._tables:
                     raise ExecutionError(f"no storage for table {key!r}")
@@ -323,17 +353,17 @@ class Storage:
                      ) -> int:
         """Copy-on-write autocommit insert: clone, insert, install.
 
-        Constraint violations raise before anything is installed, so a
-        failed batch leaves the table exactly as it was (all-or-nothing),
-        and concurrent readers holding snapshots never observe a
-        partially-applied batch.
+        Constraint violations raise before anything is installed (and
+        before anything is logged), so a failed batch leaves the table
+        exactly as it was (all-or-nothing), and concurrent readers
+        holding snapshots never observe a partially-applied batch.
         """
         lock = self.writer_lock(name)
         with lock:
             version = self.get(name).clone()
-            count = version.insert_many(rows)
-            self.install(name, version)
-            return count
+            inserted = version.insert_rows(rows)
+            self.install_many({name: version}, changes={name: inserted})
+            return len(inserted)
 
     def apply_add_index(self, name: str, index_def: IndexDef) -> None:
         """Copy-on-write index creation (DDL autocommits)."""

@@ -30,11 +30,17 @@ QUERIES = [
 #: during a plain ``db.execute`` and are exercised in TestServerChaos.
 SERVER_SITES = {"admission.enqueue", "snapshot.install", "wire.decode"}
 
+#: Sites on the durability path (WAL, checkpoint, recovery); they never
+#: fire on an in-memory database and are exercised by the crash-recovery
+#: harness in tests/test_durability_chaos.py.
+DURABILITY_SITES = {"wal.append", "wal.fsync", "wal.checkpoint",
+                    "recovery.replay"}
+
 #: Sites whose failure is survivable — execute() degrades or shrugs and
 #: still returns correct rows.  ``executor.naive`` is the last rung of
 #: the ladder, so a fault there is allowed to surface as an error.
 RECOVERABLE_SITES = sorted(INJECTION_SITES - {"executor.naive"}
-                           - SERVER_SITES)
+                           - SERVER_SITES - DURABILITY_SITES)
 
 #: Sites where recovery must mark the result degraded (the cost-based
 #: plan was abandoned).  Plan-cache faults are absorbed silently.
@@ -67,7 +73,9 @@ class TestSiteRegistry:
             "optimizer.explore", "optimizer.memo", "optimizer.implement",
             "plancache.get", "plancache.put", "executor.open",
             "executor.naive", "analyzer.check", "admission.enqueue",
-            "snapshot.install", "wire.decode", "feedback.record"}
+            "snapshot.install", "wire.decode", "feedback.record",
+            "wal.append", "wal.fsync", "wal.checkpoint",
+            "recovery.replay"}
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError):

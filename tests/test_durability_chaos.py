@@ -1,0 +1,271 @@
+"""Crash-recovery chaos: kill at every durability fault site and reopen.
+
+The harness runs a fixed workload of numbered transactions against a
+durable database while exactly one fault is armed, then "crashes" (closes
+the handles without checkpointing) and recovers into a fresh ``Database``.
+Every schedule must satisfy the committed-prefix contract:
+
+    committed  ⊆  recovered  ⊆  committed ∪ maybe
+
+where *committed* are the transactions that reported success, and
+*maybe* are those that failed inside the commit-outcome-unknown window —
+after their record reached the log (``wal.fsync``, ``snapshot.install``)
+the commit is durable even though the caller saw an error, which is the
+honest contract of any WAL (the fsync response was lost, not the write).
+Transactions that failed before a complete record existed (``wal.append``,
+plain or torn) must be absent.  In *every* case a transaction is
+recovered atomically: all of its rows or none of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, DataType, InjectedFault
+from repro import faultinject
+from repro.durability import CHECKPOINT_FILENAME, WAL_FILENAME
+
+#: Fault sites on the commit path and their recovery contract:
+#: ``absent`` — the transaction must not survive; ``maybe`` — it may
+#: legally resurrect (record durable, failure reported after the fact).
+COMMIT_SITES = {
+    "wal.append": "absent",
+    "wal.fsync": "maybe",
+    "snapshot.install": "maybe",
+}
+
+TXN_COUNT = 6
+
+
+def txn_rows(i):
+    """Two rows per transaction, so atomicity is observable."""
+    return [(100 * i, f"txn-{i}-a"), (100 * i + 1, f"txn-{i}-b")]
+
+
+def make_db(path, **kwargs):
+    db = Database(path=str(path), **kwargs)
+    if not db.catalog.has_table("t"):
+        db.create_table("t", [("id", DataType.INTEGER),
+                              ("name", DataType.VARCHAR)],
+                        primary_key=["id"])
+    return db
+
+
+def run_workload(db):
+    """TXN_COUNT transactions, alternating autocommit and session commit.
+
+    Returns ``(committed, failed)`` transaction-number lists based purely
+    on what the API reported.
+    """
+    committed, failed = [], []
+    for i in range(1, TXN_COUNT + 1):
+        try:
+            if i % 2:
+                db.insert("t", txn_rows(i))
+            else:
+                session = db.session()
+                try:
+                    session.begin()
+                    session.insert("t", txn_rows(i))
+                    session.commit()
+                finally:
+                    session.close()
+        except InjectedFault:
+            failed.append(i)
+        else:
+            committed.append(i)
+    return committed, failed
+
+
+def recovered_txns(db):
+    """Transaction numbers present after recovery, asserting per-txn
+    atomicity along the way."""
+    ids = {r[0] for r in db.execute("select id from t").rows}
+    present = []
+    for i in range(1, TXN_COUNT + 1):
+        wanted = {r[0] for r in txn_rows(i)}
+        got = ids & wanted
+        assert got in (set(), wanted), (
+            f"transaction {i} recovered partially: {sorted(got)}")
+        if got:
+            present.append(i)
+    return present
+
+
+class TestCommitCrashSchedules:
+    @pytest.mark.parametrize("site", sorted(COMMIT_SITES))
+    @pytest.mark.parametrize("nth", range(1, TXN_COUNT + 1))
+    def test_crash_at_every_commit(self, tmp_path, site, nth):
+        db = make_db(tmp_path)
+        with faultinject.fail_at(site, n=nth):
+            committed, failed = run_workload(db)
+        db.close()  # crash: no checkpoint, recovery does all the work
+
+        reopened = make_db(tmp_path)
+        recovered = recovered_txns(reopened)
+        maybe = failed if COMMIT_SITES[site] == "maybe" else []
+        assert set(committed) <= set(recovered), (
+            f"{site}: committed transaction lost")
+        assert set(recovered) <= set(committed) | set(maybe), (
+            f"{site}: phantom transaction resurrected")
+        # The database stays writable after recovery.
+        reopened.insert("t", [(9999, "after")])
+        reopened.close()
+
+    @pytest.mark.parametrize("nth", range(1, TXN_COUNT + 1))
+    def test_torn_write_at_every_commit(self, tmp_path, nth):
+        """A torn ``wal.append`` persists half the record; recovery must
+        truncate it and the transaction must be gone."""
+        db = make_db(tmp_path)
+        with faultinject.fail_at("wal.append", n=nth, torn=True):
+            committed, failed = run_workload(db)
+        db.close()
+        assert len(failed) == 1
+
+        reopened = make_db(tmp_path)
+        recovered = recovered_txns(reopened)
+        assert set(recovered) == set(committed)
+        report = reopened.durability_status()["recovery"]
+        if nth == TXN_COUNT:
+            # The torn bytes were the last thing written: recovery
+            # truncates them.
+            assert report["truncated_bytes"] > 0
+        else:
+            # A later append already healed the file back to the good
+            # boundary, so recovery finds a clean log.
+            assert report["truncated_bytes"] == 0
+        # The log is whole again: the next reopen truncates nothing.
+        reopened.insert("t", [(9999, "after")])
+        reopened.close()
+        final = make_db(tmp_path)
+        assert final.durability_status()[
+            "recovery"]["truncated_bytes"] == 0
+        final.close()
+
+
+class TestDdlCrashSchedules:
+    def test_ddl_fault_applies_nothing(self, tmp_path):
+        db = make_db(tmp_path)
+        with faultinject.fail_at("wal.append", n=1):
+            with pytest.raises(InjectedFault):
+                db.create_table("u", [("x", DataType.INTEGER)])
+        # Validate-log-apply: the failed DDL left no in-memory trace.
+        assert db.table_names() == ["t"]
+        db.insert("t", txn_rows(1))
+        db.close()
+        reopened = make_db(tmp_path)
+        assert reopened.table_names() == ["t"]
+        assert recovered_txns(reopened) == [1]
+        reopened.close()
+
+    def test_torn_ddl_record_truncated(self, tmp_path):
+        db = make_db(tmp_path)
+        db.insert("t", txn_rows(1))
+        with faultinject.fail_at("wal.append", n=1, torn=True):
+            with pytest.raises(InjectedFault):
+                db.create_view("v", "select id from t")
+        db.close()
+        reopened = make_db(tmp_path)
+        assert not reopened.catalog.has_view("v")
+        assert recovered_txns(reopened) == [1]
+        reopened.close()
+
+
+class TestCheckpointCrashSchedules:
+    def test_checkpoint_fault_never_corrupts_existing_state(self, tmp_path):
+        db = make_db(tmp_path)
+        db.insert("t", txn_rows(1))
+        assert db.checkpoint() is True  # a valid checkpoint exists
+        db.insert("t", txn_rows(2))
+        old_checkpoint = (tmp_path / CHECKPOINT_FILENAME).read_bytes()
+        old_wal = (tmp_path / WAL_FILENAME).read_bytes()
+        with faultinject.fail_at("wal.checkpoint", n=1):
+            with pytest.raises(InjectedFault):
+                db.checkpoint()
+        # The fault fired before the atomic rename: the previous
+        # checkpoint and the intact WAL are still the authoritative pair.
+        assert (tmp_path / CHECKPOINT_FILENAME).read_bytes() == \
+            old_checkpoint
+        assert (tmp_path / WAL_FILENAME).read_bytes() == old_wal
+        db.insert("t", txn_rows(3))  # still writable
+        db.close()
+        reopened = make_db(tmp_path)
+        assert recovered_txns(reopened) == [1, 2, 3]
+        reopened.close()
+
+    def test_size_triggered_checkpoint_fault_never_fails_commits(
+            self, tmp_path):
+        """With the rotation permanently failing, every commit still
+        succeeds and recovery still sees all of them (the WAL just
+        keeps growing)."""
+        db = make_db(tmp_path, checkpoint_bytes=128)
+        baseline = db.durability_status()["last_checkpoint_lsn"]
+        with faultinject.fail_always("wal.checkpoint"):
+            committed, failed = run_workload(db)
+        assert failed == []
+        # No rotation landed while the fault was armed.
+        assert db.durability_status()["last_checkpoint_lsn"] == baseline
+        db.close()
+        reopened = make_db(tmp_path)
+        assert recovered_txns(reopened) == committed
+        reopened.close()
+
+
+class TestRecoveryCrashSchedules:
+    @pytest.mark.parametrize("nth", range(1, TXN_COUNT + 1))
+    def test_crash_during_replay_then_clean_retry(self, tmp_path, nth):
+        db = make_db(tmp_path)
+        committed, _failed = run_workload(db)
+        db.close()
+        with faultinject.fail_at("recovery.replay", n=nth):
+            with pytest.raises(InjectedFault):
+                Database(path=str(tmp_path))
+        # Recovery is read-only until it succeeds: a clean retry sees
+        # the complete committed state.
+        reopened = make_db(tmp_path)
+        assert recovered_txns(reopened) == committed
+        reopened.close()
+
+    def test_double_crash_torn_then_replay_fault(self, tmp_path):
+        """Crash while recovering from a crash: the second recovery must
+        still land on the committed prefix."""
+        db = make_db(tmp_path)
+        with faultinject.fail_at("wal.append", n=3, torn=True):
+            committed, _failed = run_workload(db)
+        db.close()
+        with faultinject.fail_at("recovery.replay", n=1):
+            with pytest.raises(InjectedFault):
+                Database(path=str(tmp_path))
+        reopened = make_db(tmp_path)
+        assert recovered_txns(reopened) == committed
+        reopened.close()
+
+
+class TestMultiTableAtomicity:
+    @pytest.mark.parametrize("site", sorted(COMMIT_SITES))
+    def test_cross_table_commit_is_atomic(self, tmp_path, site):
+        db = make_db(tmp_path)
+        db.create_table("u", [("id", DataType.INTEGER)],
+                        primary_key=["id"])
+        session = db.session()
+        with faultinject.fail_at(site, n=1):
+            session.begin()
+            session.insert("t", [(1, "a")])
+            session.insert("u", [(1,)])
+            failed = False
+            try:
+                session.commit()
+            except InjectedFault:
+                failed = True
+        session.close()
+        assert failed
+        db.close()
+        reopened = make_db(tmp_path)
+        t_rows = len(reopened.execute("select id from t").rows)
+        u_rows = len(reopened.execute("select id from u").rows)
+        # One commit record covers both tables: both or neither.
+        assert (t_rows, u_rows) in {(0, 0), (1, 1)}, (
+            f"{site}: cross-table commit recovered partially")
+        if COMMIT_SITES[site] == "absent":
+            assert (t_rows, u_rows) == (0, 0)
+        reopened.close()

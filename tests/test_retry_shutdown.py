@@ -1,0 +1,281 @@
+"""Client retries and graceful server shutdown.
+
+The retry half runs against a *scripted* stub server so every schedule
+is deterministic: overload rejections, dropped connections and
+recoveries happen exactly where the script says, and the test asserts
+which requests were retried, which reconnected, and which refused to
+(non-idempotent operations never retry a connection reset).
+
+The shutdown half runs against the real :class:`QueryServer`:
+``drain()`` flips ``health`` to not-ready and rejects new work with a
+clean ``ServerError`` while observability ops keep answering, and
+``stop()`` waits for in-flight requests before tearing down.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import Database, DataType, ServerError, ServerOverloaded
+from repro.errors import ProtocolError
+from repro.server import QueryServer, RetryPolicy, ServerClient
+
+OVERLOADED = {"ok": False, "error": {
+    "type": "ServerOverloaded", "message": "server overloaded",
+    "reason": "queue full", "limit": 1, "pending": 2}}
+
+FAST_RETRY = dict(base_delay=0.001, max_delay=0.01, jitter=0.0)
+
+
+class ScriptedServer:
+    """A wire-protocol stub driven by a per-request action script.
+
+    Each incoming request consumes one action: a dict is sent back as
+    the JSON response; the string ``"drop"`` closes the connection
+    without replying (a reset).  Requests beyond the script get
+    ``{"ok": true, "pong": true}``.  Every decoded request is recorded.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests: list[dict] = []
+        self.connections = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.1)
+        self.address = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        conn = reader = None
+        while not self._stop.is_set():
+            if conn is None:
+                try:
+                    conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                self.connections += 1
+                reader = conn.makefile("rb")
+            line = reader.readline()
+            if not line:
+                reader.close()
+                conn.close()
+                conn = reader = None
+                continue
+            self.requests.append(json.loads(line))
+            action = (self.script.pop(0) if self.script
+                      else {"ok": True, "pong": True})
+            if action == "drop":
+                reader.close()
+                conn.close()
+                conn = reader = None
+                continue
+            conn.sendall(json.dumps(action).encode() + b"\n")
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._listener.close()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def start(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_for_a_seed(self):
+        policy = RetryPolicy(seed=42)
+        first = [policy.delay(i, policy.rng()) for i in range(5)]
+        second = [policy.delay(i, policy.rng()) for i in range(5)]
+        assert first == second
+        other = [RetryPolicy(seed=7).delay(i, RetryPolicy(seed=7).rng())
+                 for i in range(5)]
+        assert other != first  # the seed actually matters
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(base_delay=0.05, multiplier=2.0,
+                             max_delay=0.2, jitter=0.0)
+        rng = policy.rng()
+        assert [policy.delay(i, rng) for i in range(4)] == \
+            [0.05, 0.1, 0.2, 0.2]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5,
+                             seed=1, max_delay=10.0)
+        rng = policy.rng()
+        for attempt in range(50):
+            assert 0.5 <= policy.delay(attempt, rng) <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestClientRetries:
+    def test_overload_retried_for_any_op(self, scripted):
+        server = scripted([OVERLOADED, OVERLOADED,
+                           {"ok": True, "inserted": 2}])
+        client = ServerClient(*server.address,
+                              retry=RetryPolicy(max_attempts=3,
+                                                **FAST_RETRY))
+        assert client.insert("t", [(1,), (2,)]) == 2
+        assert [r["op"] for r in server.requests] == ["insert"] * 3
+
+    def test_overload_exhausts_attempts(self, scripted):
+        server = scripted([OVERLOADED] * 5)
+        client = ServerClient(*server.address,
+                              retry=RetryPolicy(max_attempts=3,
+                                                **FAST_RETRY))
+        with pytest.raises(ServerOverloaded):
+            client.ping()
+        assert len(server.requests) == 3
+
+    def test_no_policy_means_no_retry(self, scripted):
+        server = scripted([OVERLOADED, {"ok": True, "pong": True}])
+        client = ServerClient(*server.address)
+        with pytest.raises(ServerOverloaded):
+            client.ping()
+        assert len(server.requests) == 1
+
+    def test_idempotent_op_reconnects_after_reset(self, scripted):
+        server = scripted(["drop", {"ok": True, "pong": True}])
+        client = ServerClient(*server.address,
+                              retry=RetryPolicy(max_attempts=3,
+                                                **FAST_RETRY))
+        assert client.ping() is True
+        assert server.connections == 2  # the retry reconnected
+
+    def test_non_idempotent_op_never_retries_a_reset(self, scripted):
+        server = scripted(["drop", {"ok": True}])
+        client = ServerClient(*server.address,
+                              retry=RetryPolicy(max_attempts=5,
+                                                **FAST_RETRY))
+        with pytest.raises(ProtocolError):
+            client.commit()
+        assert [r["op"] for r in server.requests] == ["commit"]
+
+    def test_connection_retry_can_be_disabled(self, scripted):
+        server = scripted(["drop", {"ok": True, "pong": True}])
+        client = ServerClient(
+            *server.address,
+            retry=RetryPolicy(max_attempts=3,
+                              retry_connection_errors=False,
+                              **FAST_RETRY))
+        with pytest.raises(ProtocolError):
+            client.ping()
+        assert server.connections == 1
+
+    def test_deliberate_close_is_not_retried(self, scripted):
+        server = scripted([])
+        client = ServerClient(*server.address,
+                              retry=RetryPolicy(max_attempts=5,
+                                                **FAST_RETRY))
+        client.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            client.query("select 1")
+        # Only the goodbye reached the server; nothing was retried.
+        assert [r["op"] for r in server.requests] == ["close"]
+
+
+def build_db() -> Database:
+    db = Database()
+    db.create_table("t", [("a", DataType.INTEGER, False)],
+                    primary_key=("a",))
+    db.insert("t", [(i,) for i in range(50)])
+    return db
+
+
+class TestGracefulShutdown:
+    def test_health_reports_ready_then_draining(self):
+        with QueryServer(build_db()) as server:
+            client = ServerClient(*server.address)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["live"] and health["ready"]
+            assert health["durability"] == {"enabled": False}
+            for key in ("active_requests", "admission_queue_depth",
+                        "open_sessions", "plan_cache_hit_rate"):
+                assert key in health
+            server.drain()
+            health = client.health()
+            assert health["status"] == "draining"
+            assert health["live"] and not health["ready"]
+            client.close()
+
+    def test_health_exposes_durability(self, tmp_path):
+        db = Database(path=str(tmp_path))
+        db.create_table("t", [("a", DataType.INTEGER, False)])
+        db.insert("t", [(1,)])
+        with QueryServer(db) as server:
+            client = ServerClient(*server.address)
+            durability = client.health()["durability"]
+            assert durability["enabled"] is True
+            assert durability["wal_bytes"] > 0
+            assert durability["recovery"] is not None
+            client.close()
+        db.close()
+
+    def test_drain_rejects_new_work_cleanly(self):
+        with QueryServer(build_db()) as server:
+            client = ServerClient(*server.address)
+            assert client.query("select count(*) from t").scalar() == 50
+            server.drain()
+            with pytest.raises(ServerError, match="shutting down"):
+                client.query("select count(*) from t")
+            # Observability and cleanup ops still answer.
+            assert client.ping() is True
+            client.rollback()
+            assert client.metrics()["open_sessions"] >= 1
+            client.close()
+
+    def test_stop_idle_server_is_fast(self):
+        server = QueryServer(build_db()).start()
+        client = ServerClient(*server.address)
+        client.ping()
+        started = time.monotonic()
+        server.stop()
+        assert time.monotonic() - started < 3.0
+        client.close()
+
+    def test_stop_waits_for_in_flight_request(self):
+        db = build_db()
+        db.insert("t", [(i,) for i in range(50, 800)])
+        server = QueryServer(db, request_timeout=None).start()
+        client = ServerClient(*server.address, timeout=60.0)
+        result: list = []
+
+        def slow_query():
+            result.append(client.query(
+                "select count(*) from t a, t b").scalar())
+
+        thread = threading.Thread(target=slow_query)
+        thread.start()
+        time.sleep(0.2)  # let the request reach the worker
+        server.stop(drain_timeout=30.0)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert result == [800 * 800]
+        client.close()
+
+    def test_stop_is_idempotent(self):
+        server = QueryServer(build_db()).start()
+        server.stop()
+        server.stop()
