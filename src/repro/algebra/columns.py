@@ -11,13 +11,13 @@ distinct column sets even though the names coincide.
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Iterable, Iterator
 
+from ..concurrency import TrackedLock
 from .datatypes import DataType
 
 _COUNTER = itertools.count(1)
-_COUNTER_LOCK = threading.Lock()
+_COUNTER_LOCK = TrackedLock("algebra.columns")
 
 
 def _next_column_id() -> int:

@@ -1,0 +1,48 @@
+"""Static concurrency analysis over the repro source tree.
+
+The runtime half of the concurrency layer lives in
+:mod:`repro.concurrency` (the tracked-lock substrate and the race
+detector); this package is the static half.  It parses the engine's
+source with :mod:`ast`, extracts every lock acquisition (``with lock:``
+and ``.acquire(...)``), builds the held-while-acquiring lock-order graph
+keyed by the declared hierarchy, and reports:
+
+* cycles in the lock-order graph (potential deadlocks),
+* hierarchy violations (acquiring a lower level while holding a higher),
+* unbounded acquisitions of locks whose spec requires a timeout,
+* blocking calls (fsync, socket IO, unbounded waits/joins) made while a
+  *hot* lock is held,
+* mutations of registered shared fields outside their guarding lock,
+* raw ``threading`` lock construction outside the substrate module,
+* fault-injection registry drift (:mod:`.faults`).
+
+``python -m repro.analysis.concurrency check`` runs everything and is a
+CI hard gate; ``hierarchy`` prints the declared lock table; ``faults``
+runs only the fault-site lint.
+"""
+
+from .extract import extract_tree
+from .faults import check_fault_sites
+from .graph import LockOrderGraph, build_graph
+from .lints import check_blocking
+from .report import ConcurrencyIssue, render_issues
+
+__all__ = [
+    "ConcurrencyIssue", "LockOrderGraph", "analyze_tree", "build_graph",
+    "check_blocking", "check_fault_sites", "extract_tree",
+    "render_issues",
+]
+
+
+def analyze_tree(root: str) -> "tuple[list[ConcurrencyIssue], LockOrderGraph]":
+    """Run the full static pass over the source tree at ``root``.
+
+    Returns ``(issues, graph)`` — the graph is kept so callers (the CLI's
+    ``--explain``) can render cycle blame without re-analyzing.
+    """
+    extraction = extract_tree(root)
+    issues = list(extraction.issues)
+    graph = build_graph(extraction)
+    issues.extend(graph.issues)
+    issues.extend(check_blocking(extraction))
+    return issues, graph

@@ -1,0 +1,132 @@
+"""``python -m repro.analysis.concurrency`` — the concurrency gate CLI.
+
+Subcommands:
+
+``hierarchy``
+    Print the declared lock table (name, level, flags, doc).
+
+``check [paths...]``
+    Run the full static pass (lock-order graph, hierarchy checks,
+    cycles, blocking-call and guarded-field lints) over the given
+    trees (default: the installed ``repro`` package source).  Exits 1
+    on any issue.  ``--expect-violations`` inverts the gate for fixture
+    tests: exit 0 iff at least one ``order.*`` issue is found.
+    ``--explain A B`` renders every witnessed acquisition site for the
+    ordering A → B.
+
+``faults [--design PATH]``
+    Run only the fault-injection registry lint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from ...concurrency import iter_specs
+from . import analyze_tree
+from .faults import check_fault_sites
+from .report import render_issues
+
+
+def _default_root() -> str:
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _cmd_hierarchy() -> int:
+    print(f"{'name':<18} {'level':>5}  flags")
+    print("-" * 60)
+    for spec in iter_specs():
+        flags = [f for f, on in (
+            ("dynamic", spec.dynamic),
+            ("timeout-required", spec.timeout_required),
+            ("hot", spec.hot),
+            ("reentrant", spec.reentrant)) if on]
+        print(f"{spec.name:<18} {spec.level:>5}  "
+              f"{', '.join(flags) or '-'}")
+        if spec.doc:
+            print(f"{'':<26}{spec.doc}")
+    return 0
+
+
+def _cmd_check(paths: list[str], expect_violations: bool,
+               explain: Optional[tuple[str, str]]) -> int:
+    roots = paths or [_default_root()]
+    all_issues = []
+    graphs = []
+    for root in roots:
+        issues, graph = analyze_tree(root)
+        all_issues.extend(issues)
+        graphs.append(graph)
+    if explain is not None:
+        for graph in graphs:
+            print(graph.explain(explain[0], explain[1]))
+        for graph in graphs:
+            for cycle in graph.cycles:
+                print(graph.explain_cycle(cycle))
+    if expect_violations:
+        order = [i for i in all_issues if i.code.startswith("order.")]
+        if order:
+            print(f"expected violations present "
+                  f"({len(order)} order issue(s)):")
+            print(render_issues(order))
+            return 0
+        print("expected lock-order violations but the tree is clean",
+              file=sys.stderr)
+        return 1
+    if all_issues:
+        print(render_issues(all_issues), file=sys.stderr)
+        print(f"\n{len(all_issues)} concurrency issue(s)",
+              file=sys.stderr)
+        return 1
+    edges = sum(len(g.edges) for g in graphs)
+    print(f"concurrency check clean: {edges} lock-order edge(s), "
+          f"0 issues")
+    return 0
+
+
+def _cmd_faults(design: str) -> int:
+    issues = check_fault_sites(_default_root(), design)
+    if issues:
+        print(render_issues(issues), file=sys.stderr)
+        return 1
+    print("fault-site registry clean")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.concurrency",
+        description="static concurrency analysis gate")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("hierarchy", help="print the declared lock table")
+    check = sub.add_parser("check", help="run the full static pass")
+    check.add_argument("paths", nargs="*",
+                       help="source trees (default: repro package)")
+    check.add_argument("--expect-violations", action="store_true",
+                       help="exit 0 iff order violations are found "
+                            "(fixture self-test)")
+    check.add_argument("--explain", nargs=2, metavar=("HELD", "ACQUIRED"),
+                       help="render witnessed sites for an ordering, "
+                            "plus all cycles")
+    faults = sub.add_parser("faults", help="fault-site registry lint")
+    faults.add_argument("--design", default="DESIGN.md",
+                        help="DESIGN.md path to check site listing "
+                             "against (default: ./DESIGN.md)")
+    args = parser.parse_args(argv)
+    if args.cmd == "hierarchy":
+        return _cmd_hierarchy()
+    if args.cmd == "check":
+        explain = tuple(args.explain) if args.explain else None
+        return _cmd_check(args.paths, args.expect_violations, explain)
+    if args.cmd == "faults":
+        design = args.design if os.path.exists(args.design) else ""
+        return _cmd_faults(design)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Fault-site registry lint.
+
+Every ``faultinject.hit("<site>")`` in the source tree must name a site
+registered in :func:`repro.faultinject.sites`, each registered site must
+be hit somewhere (a registered-but-dead site silently shrinks chaos
+coverage), no site may be hit from two different source locations (sites
+are per-operation identities, not categories), and DESIGN.md must list
+every site so the failure matrix stays honest.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator
+
+from ...faultinject import sites
+from .report import ConcurrencyIssue
+
+
+def _iter_sources(root: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in ("__pycache__", ".git")]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _hit_sites(root: str) -> dict[str, list[tuple[str, int]]]:
+    """site name → every (file, line) that calls ``hit(<literal>)``."""
+    found: dict[str, list[tuple[str, int]]] = {}
+    for path in _iter_sources(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                tree = ast.parse(handle.read(), filename=path)
+            except SyntaxError:
+                continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name != "hit" or not node.args:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                found.setdefault(arg.value, []).append(
+                    (path, node.lineno))
+    return found
+
+
+def check_fault_sites(root: str,
+                      design_path: str = "") -> list[ConcurrencyIssue]:
+    """Lint the fault-injection registry against the tree at ``root``."""
+    issues: list[ConcurrencyIssue] = []
+    registered = sites()
+    if len(set(registered)) != len(registered):
+        dupes = sorted({s for s in registered
+                        if registered.count(s) > 1})
+        issues.append(ConcurrencyIssue(
+            "faults.duplicate-registration",
+            f"INJECTION_SITES lists {', '.join(dupes)} more than once"))
+    hits = _hit_sites(root)
+    skip = {os.path.join(root, "faultinject.py")}
+    for site, locations in sorted(hits.items()):
+        locations = [loc for loc in locations if loc[0] not in skip]
+        if not locations:
+            continue
+        if site not in registered:
+            issues.append(ConcurrencyIssue(
+                "faults.unregistered-site",
+                f"faultinject.hit({site!r}) is not in INJECTION_SITES; "
+                f"register it (and list it in DESIGN.md)",
+                *locations[0]))
+        if len(locations) > 1:
+            where = ", ".join(f"{f}:{ln}" for f, ln in locations)
+            issues.append(ConcurrencyIssue(
+                "faults.duplicate-site",
+                f"site {site!r} is hit from {len(locations)} locations "
+                f"({where}); each site must identify one operation",
+                *locations[0]))
+    for site in registered:
+        if site not in hits:
+            issues.append(ConcurrencyIssue(
+                "faults.dead-site",
+                f"registered site {site!r} is never hit in the source "
+                f"tree; chaos coverage for it is silently zero"))
+    if design_path and os.path.exists(design_path):
+        with open(design_path, "r", encoding="utf-8") as handle:
+            design = handle.read()
+        for site in registered:
+            if f"`{site}`" not in design and site not in design:
+                issues.append(ConcurrencyIssue(
+                    "faults.undocumented-site",
+                    f"site {site!r} is not listed in DESIGN.md",
+                    design_path))
+    return issues

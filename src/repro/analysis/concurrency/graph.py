@@ -1,0 +1,186 @@
+"""Lock-order graph construction and deadlock-cycle detection.
+
+The extraction pass yields per-function summaries: direct acquisitions
+with their held-sets, plus resolved call sites.  This module closes the
+summaries over the call graph (one fixpoint: a function's *transitive*
+acquires are its own plus every callee's), adds the cross-call edges
+(everything held at a call site precedes everything the callee may
+acquire), then checks each edge against the declared hierarchy and
+searches the group-level digraph for cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .extract import Acquisition, Edge, Extraction
+from .report import ConcurrencyIssue
+
+
+@dataclass
+class GroupEdge:
+    """All witnessed held→acquired orderings between two lock groups."""
+
+    held: str
+    acquired: str
+    witnesses: list[Edge] = field(default_factory=list)
+
+    @property
+    def all_bounded(self) -> bool:
+        return all(w.held.bounded and w.acquired.bounded
+                   for w in self.witnesses)
+
+
+@dataclass
+class LockOrderGraph:
+    """The held-while-acquiring digraph over hierarchy groups."""
+
+    edges: dict[tuple[str, str], GroupEdge] = field(default_factory=dict)
+    issues: list[ConcurrencyIssue] = field(default_factory=list)
+    cycles: list[list[str]] = field(default_factory=list)
+
+    def add(self, edge: Edge) -> None:
+        key = (edge.held.lock.group, edge.acquired.lock.group)
+        if key[0] == key[1] and edge.held.lock.name == edge.acquired.lock.name:
+            return  # re-entry on the same lock; TrackedRLock territory
+        group = self.edges.get(key)
+        if group is None:
+            group = self.edges[key] = GroupEdge(*key)
+        group.witnesses.append(edge)
+
+    def successors(self, group: str) -> list[str]:
+        return [b for (a, b) in self.edges if a == group]
+
+    def explain(self, a: str, b: str) -> str:
+        """Render every witnessed site for the ordering ``a`` → ``b``."""
+        edge = self.edges.get((a, b))
+        if edge is None:
+            return f"no witnessed ordering {a} -> {b}"
+        lines = [f"{a} -> {b} ({len(edge.witnesses)} site(s)):"]
+        for w in edge.witnesses:
+            hold = f"{w.held.lock.name} held since {w.held.file}:{w.held.line}"
+            take = f"{w.acquired.lock.name} taken at " \
+                   f"{w.acquired.file}:{w.acquired.line}"
+            via = f" (via {w.via})" if w.via else ""
+            lines.append(f"  {hold}; {take}{via}")
+        return "\n".join(lines)
+
+    def explain_cycle(self, cycle: list[str]) -> str:
+        parts = [" -> ".join(cycle + [cycle[0]])]
+        for a, b in zip(cycle, cycle[1:] + [cycle[0]]):
+            parts.append(self.explain(a, b))
+        return "\n".join(parts)
+
+
+def _close_over_calls(extraction: Extraction
+                      ) -> dict[tuple[str, str], list[Acquisition]]:
+    """One fixpoint computing each function's transitive acquisitions."""
+    trans: dict[tuple[str, str], list[Acquisition]] = {
+        key: list(summary.acquires)
+        for key, summary in extraction.functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, summary in extraction.functions.items():
+            seen = {(a.lock.name, a.file, a.line) for a in trans[key]}
+            for call in summary.calls:
+                for acq in trans.get(call.callee, ()):
+                    ident = (acq.lock.name, acq.file, acq.line)
+                    if ident not in seen:
+                        seen.add(ident)
+                        trans[key].append(acq)
+                        changed = True
+    return trans
+
+
+def _check_edge(edge: GroupEdge,
+                issues: list[ConcurrencyIssue]) -> None:
+    sample = edge.witnesses[0]
+    held_spec = sample.held.lock.spec
+    acq_spec = sample.acquired.lock.spec
+    if edge.held == edge.acquired:
+        # distinct instances of one dynamic group: legal only when the
+        # spec demands bounded acquisition (first-committer-wins) or the
+        # lock is reentrant (same object re-entry was filtered in add()).
+        if held_spec.reentrant:
+            return
+        if not (held_spec.dynamic and held_spec.timeout_required
+                and edge.all_bounded):
+            issues.append(ConcurrencyIssue(
+                "order.same-level",
+                f"multiple {edge.held!r} locks acquired while one is "
+                f"held without bounded timeouts; concurrent threads can "
+                f"deadlock on opposite orders",
+                sample.acquired.file, sample.acquired.line))
+        return
+    if acq_spec.level < held_spec.level:
+        issues.append(ConcurrencyIssue(
+            "order.descend",
+            f"{sample.acquired.lock.name!r} (level {acq_spec.level}) "
+            f"acquired while holding {sample.held.lock.name!r} (level "
+            f"{held_spec.level}); the hierarchy only permits ascending "
+            f"acquisition",
+            sample.acquired.file, sample.acquired.line))
+    elif acq_spec.level == held_spec.level:
+        issues.append(ConcurrencyIssue(
+            "order.same-level",
+            f"{sample.acquired.lock.name!r} and {sample.held.lock.name!r} "
+            f"share level {acq_spec.level} but are distinct groups; "
+            f"assign distinct levels",
+            sample.acquired.file, sample.acquired.line))
+
+
+def _find_cycles(graph: LockOrderGraph) -> list[list[str]]:
+    """All elementary cycles, by DFS from each node (small graphs)."""
+    nodes = sorted({n for key in graph.edges for n in key})
+    cycles: list[list[str]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: list[str],
+            on_path: set[str]) -> None:
+        for nxt in graph.successors(node):
+            if nxt == start:
+                # canonicalize rotation so each cycle reports once
+                pivot = path.index(min(path))
+                canon = tuple(path[pivot:] + path[:pivot])
+                if canon not in seen_keys:
+                    seen_keys.add(canon)
+                    cycles.append(list(canon))
+            elif nxt not in on_path and nxt > start:
+                on_path.add(nxt)
+                dfs(start, nxt, path + [nxt], on_path)
+                on_path.discard(nxt)
+
+    for start in nodes:
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+def build_graph(extraction: Extraction) -> LockOrderGraph:
+    graph = LockOrderGraph()
+    for summary in extraction.functions.values():
+        for edge in summary.edges:
+            graph.add(edge)
+    trans = _close_over_calls(extraction)
+    for summary in extraction.functions.values():
+        for call in summary.calls:
+            if not call.held:
+                continue
+            for acq in trans.get(call.callee, ()):
+                for held in call.held:
+                    if held.lock.name == acq.lock.name:
+                        continue  # reacquisition of the held lock
+                    graph.add(Edge(
+                        held, acq,
+                        via=f"{'.'.join(n for n in call.callee if n)} "
+                            f"at {call.file}:{call.line}"))
+    for edge in graph.edges.values():
+        _check_edge(edge, graph.issues)
+    graph.cycles = _find_cycles(graph)
+    for cycle in graph.cycles:
+        graph.issues.append(ConcurrencyIssue(
+            "order.cycle",
+            "potential deadlock cycle: " + " -> ".join(
+                cycle + [cycle[0]]) + " (run --explain for the "
+            "witnessing acquisition sites)"))
+    return graph

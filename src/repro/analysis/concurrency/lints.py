@@ -1,0 +1,93 @@
+"""Blocking-call lint: no IO/unbounded waits while a *hot* lock is held.
+
+Hot locks (``hot=True`` in the hierarchy) sit on the per-query or
+per-statement path; a thread that blocks on disk or network while
+holding one convoys every other query behind it.  The lint reports
+direct blocking operations under a hot lock, and — via one fixpoint over
+the call graph — calls to functions that *may* block while a hot lock is
+held at the call site.
+
+Deliberate exceptions are declared in :data:`BLOCKING_ALLOWED`, each
+with the reason it is safe.
+"""
+
+from __future__ import annotations
+
+from .extract import Extraction
+from .report import ConcurrencyIssue
+
+#: (lock group, blocking what) pairs that are sanctioned, with reasons.
+#: ``wal.log`` protects the log file itself: fsync under it *is* the
+#: design (group-commit serializes on the log lock), and it is not hot.
+BLOCKING_ALLOWED: frozenset[tuple[str, str]] = frozenset()
+
+
+def _direct_blockers(extraction: Extraction
+                     ) -> list[ConcurrencyIssue]:
+    issues: list[ConcurrencyIssue] = []
+    for summary in extraction.functions.values():
+        for call in summary.blocking:
+            hot = [a for a in call.held if a.lock.spec.hot]
+            if not hot:
+                continue
+            names = ", ".join(sorted({a.lock.name for a in hot}))
+            if any((a.lock.group, call.what) in BLOCKING_ALLOWED
+                   for a in hot):
+                continue
+            issues.append(ConcurrencyIssue(
+                "blocking.hot-lock",
+                f"blocking call {call.what!r} while holding hot "
+                f"lock(s) {names}; every query needing those locks "
+                f"convoys behind this IO",
+                call.file, call.line))
+    return issues
+
+
+def _transitive_blockers(extraction: Extraction
+                         ) -> list[ConcurrencyIssue]:
+    # may_block: functions containing a blocking op, closed over calls
+    may_block: dict[tuple[str, str], str] = {}
+    for key, summary in extraction.functions.items():
+        if summary.blocking:
+            may_block[key] = summary.blocking[0].what
+    changed = True
+    while changed:
+        changed = False
+        for key, summary in extraction.functions.items():
+            if key in may_block:
+                continue
+            for call in summary.calls:
+                if call.callee in may_block:
+                    may_block[key] = (
+                        f"{may_block[call.callee]} via "
+                        f"{'.'.join(n for n in call.callee if n)}")
+                    changed = True
+                    break
+    issues: list[ConcurrencyIssue] = []
+    for summary in extraction.functions.values():
+        for call in summary.calls:
+            what = may_block.get(call.callee)
+            if what is None:
+                continue
+            hot = [a for a in call.held if a.lock.spec.hot]
+            if not hot:
+                continue
+            names = ", ".join(sorted({a.lock.name for a in hot}))
+            issues.append(ConcurrencyIssue(
+                "blocking.hot-lock-transitive",
+                f"call may block ({what}) while holding hot lock(s) "
+                f"{names}",
+                call.file, call.line))
+    return issues
+
+
+def check_blocking(extraction: Extraction) -> list[ConcurrencyIssue]:
+    seen: set[tuple[str, str, int]] = set()
+    out: list[ConcurrencyIssue] = []
+    for issue in _direct_blockers(extraction) \
+            + _transitive_blockers(extraction):
+        key = (issue.code, issue.file, issue.line)
+        if key not in seen:
+            seen.add(key)
+            out.append(issue)
+    return out

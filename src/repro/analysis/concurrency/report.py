@@ -1,0 +1,33 @@
+"""Issue records produced by the static concurrency analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConcurrencyIssue:
+    """One concurrency-discipline violation found in the source tree.
+
+    ``code`` is a stable dotted identifier (``order.cycle``,
+    ``order.descend``, ``lock.timeout-required``, ``blocking.hot-lock``,
+    ``guard.unlocked-write``, ``faults.duplicate-site``, ...) suitable
+    for filtering and for tests; ``file``/``line`` locate the offending
+    acquisition, call or mutation.
+    """
+
+    code: str
+    message: str
+    file: str = ""
+    line: int = 0
+
+    def render(self) -> str:
+        location = f" {self.file}:{self.line}" if self.file else ""
+        return f"[{self.code}]{location}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_issues(issues: list[ConcurrencyIssue]) -> str:
+    return "\n".join(issue.render() for issue in issues)

@@ -7,11 +7,11 @@ statistics (see :mod:`repro.catalog.statistics`) feed cardinality estimation.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..algebra.datatypes import DataType
+from ..concurrency import TrackedRLock
 from ..errors import CatalogError
 
 
@@ -144,9 +144,12 @@ class Catalog:
         self.version = 0
         #: Serializes DDL: concurrent sessions may create/drop objects,
         #: and the existence check plus insert plus version bump must be
-        #: one atomic step.  Reads stay lock-free (dict reads are atomic
-        #: and definitions are immutable once registered).
-        self._lock = threading.RLock()
+        #: one atomic step.  Point reads stay lock-free (dict reads are
+        #: atomic and definitions are immutable once registered), but
+        #: *enumerations* copy under the lock — handing out a live dict
+        #: iterator would raise "dictionary changed size" under
+        #: concurrent DDL.
+        self._lock = TrackedRLock("catalog.schema")
 
     # -- tables ---------------------------------------------------------------
 
@@ -182,7 +185,8 @@ class Catalog:
             self.version += 1
 
     def tables(self) -> Iterator[TableDef]:
-        return iter(self._tables.values())
+        with self._lock:
+            return iter(list(self._tables.values()))
 
     # -- views ------------------------------------------------------------------
 
@@ -234,7 +238,8 @@ class Catalog:
 
     def indexes(self) -> list[IndexDef]:
         """All index definitions, in creation order."""
-        return list(self._indexes.values())
+        with self._lock:
+            return list(self._indexes.values())
 
     def views(self) -> list[tuple[str, str]]:
         """All ``(name, defining SQL)`` view pairs, in creation order.
@@ -242,11 +247,13 @@ class Catalog:
         Creation order matters to consumers that re-register views (the
         checkpointer): a view may reference earlier views.
         """
-        return list(self._views.items())
+        with self._lock:
+            return list(self._views.items())
 
     def indexes_on(self, table_name: str) -> list[IndexDef]:
-        return [ix for ix in self._indexes.values()
-                if ix.table_name.lower() == table_name.lower()]
+        with self._lock:
+            return [ix for ix in self._indexes.values()
+                    if ix.table_name.lower() == table_name.lower()]
 
     def get_index(self, name: str) -> IndexDef:
         try:

@@ -15,10 +15,10 @@ optimize → execute → observe loop.
 from __future__ import annotations
 
 import bisect
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from ..concurrency import TrackedLock
 from ..stats_version import (DEFAULT_DRIFT_THRESHOLD, StatsSnapshot,
                              drifted)
 
@@ -228,7 +228,7 @@ class CorrectionStore:
                  row_count_of: Callable[[str], int] | None = None,
                  drift_threshold: float = DEFAULT_DRIFT_THRESHOLD) -> None:
         self._entries: dict[tuple[str, str], CardinalityCorrection] = {}
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("stats.corrections")
         self._row_count_of = row_count_of
         self.drift_threshold = drift_threshold
         self.version = 0

@@ -16,7 +16,6 @@ configurations:
 
 from __future__ import annotations
 
-import threading
 import time
 import warnings
 from dataclasses import dataclass, field, replace
@@ -30,6 +29,7 @@ from .catalog import Catalog, ColumnDef, IndexDef, TableDef
 from .catalog.catalog import (index_def_from_dict, index_def_to_dict,
                               table_def_from_dict)
 from .catalog.statistics import CorrectionStore
+from .concurrency import TrackedLock, TrackedRLock
 from .core.normalize import NormalizeConfig, normalize
 from .core.optimizer import Optimizer, OptimizerConfig
 from .durability import (DEFAULT_CHECKPOINT_BYTES, DurabilityManager,
@@ -371,7 +371,7 @@ class Database:
                                     row_count_of=self._row_count,
                                     validator=self._plan_admissible,
                                     shards=plan_cache_shards)
-        self._sessions_lock = threading.Lock()
+        self._sessions_lock = TrackedLock("db.sessions")
         self._open_sessions: set[str] = set()
         # -- durability (repro.durability) -----------------------------
         # ``path=None`` (the default) is a purely in-memory database:
@@ -382,7 +382,7 @@ class Database:
         # logs ahead of its catalog change (:attr:`_ddl_lock`).
         self.path = path
         self._durability: DurabilityManager | None = None
-        self._ddl_lock: threading.RLock = threading.RLock()
+        self._ddl_lock: TrackedRLock = TrackedRLock("db.ddl")
         if path is not None:
             manager = DurabilityManager(path, fsync=fsync,
                                         checkpoint_bytes=checkpoint_bytes)

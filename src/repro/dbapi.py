@@ -26,9 +26,10 @@ long-lived sessions.
 
 from __future__ import annotations
 
-import queue
+from collections import deque
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
+from .concurrency import TrackedCondition
 from .database import Database, QueryResult
 from .errors import ReproError, TransactionError
 
@@ -257,10 +258,10 @@ class ConnectionPool:
             raise ValueError("pool size must be at least 1")
         self._database = database if database is not None else Database()
         self.size = size
-        self._free: "queue.Queue[Connection]" = queue.Queue()
-        for _ in range(size):
-            self._free.put(Connection(self._database,
-                                      autocommit=autocommit))
+        self._cv = TrackedCondition("dbapi.pool")
+        self._free: deque[Connection] = deque(
+            Connection(self._database, autocommit=autocommit)
+            for _ in range(size))
         self._closed = False
 
     @property
@@ -268,14 +269,16 @@ class ConnectionPool:
         return self._database
 
     def acquire(self, timeout: Optional[float] = None) -> Connection:
-        if self._closed:
-            raise InterfaceError("pool is closed")
-        try:
-            return self._free.get(timeout=timeout)
-        except queue.Empty:
-            raise OperationalError(
-                f"no pooled connection became free within {timeout}s"
-            ) from None
+        with self._cv:
+            if self._closed:
+                raise InterfaceError("pool is closed")
+            if not self._cv.wait_for(lambda: self._free or self._closed,
+                                     timeout=timeout):
+                raise OperationalError(
+                    f"no pooled connection became free within {timeout}s")
+            if self._closed:
+                raise InterfaceError("pool is closed")
+            return self._free.popleft()
 
     def release(self, connection: Connection) -> None:
         if connection._closed:
@@ -285,22 +288,25 @@ class ConnectionPool:
                                     autocommit=connection.autocommit)
         else:
             connection.rollback()
-        if self._closed:
-            connection.close()
-            return
-        self._free.put(connection)
+        with self._cv:
+            if not self._closed:
+                self._free.append(connection)
+                self._cv.notify()
+                return
+        connection.close()
 
     def connection(self, timeout: Optional[float] = None):
         """Borrow a connection for a ``with`` block."""
         return _PooledConnection(self, timeout)
 
     def close(self) -> None:
-        self._closed = True
-        while True:
-            try:
-                self._free.get_nowait().close()
-            except queue.Empty:
-                return
+        with self._cv:
+            self._closed = True
+            doomed = list(self._free)
+            self._free.clear()
+            self._cv.notify_all()
+        for connection in doomed:
+            connection.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self

@@ -24,11 +24,11 @@ Concurrency:
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
 from .. import faultinject
+from ..concurrency import TrackedLock, TrackedRLock
 from ..errors import DurabilityError
 from .checkpoint import (build_payload, load_checkpoint, write_checkpoint)
 from .codec import encode_row
@@ -79,8 +79,8 @@ class DurabilityManager:
         self.wal_path = os.path.join(path, WAL_FILENAME)
         self.checkpoint_path = os.path.join(path, CHECKPOINT_FILENAME)
         #: Serializes DDL end to end (validate → log → apply).
-        self.ddl_lock = threading.RLock()
-        self._log_lock = threading.Lock()
+        self.ddl_lock = TrackedRLock("db.ddl")
+        self._log_lock = TrackedLock("wal.log")
         self._wal: WriteAheadLog | None = None
         self._next_lsn = 1
         self._last_checkpoint_lsn = 0

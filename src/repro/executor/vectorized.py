@@ -211,7 +211,7 @@ class VectorizedExecutor:
         ``run_prepared`` (slot-ordered ``params``, cooperative governor,
         rows returned as tuples, optional ``storage`` view override,
         optional per-node ``profile`` row counting)."""
-        faultinject.hit("executor.open")
+        faultinject.hit("executor.open.vectorized")
         ctx = ExecutionContext(
             governor, storage if storage is not None else self._storage,
             profile)

@@ -33,7 +33,8 @@ INJECTION_SITES = frozenset({
     "optimizer.implement",  # per group visited by Implementer.best_plan
     "plancache.get",        # per plan-cache lookup
     "plancache.put",        # per plan-cache insertion
-    "executor.open",        # per physical-plan execution start
+    "executor.open",        # per tuple-engine physical execution start
+    "executor.open.vectorized",  # per vectorized-engine execution start
     "executor.naive",       # per naive-interpreter run start
     "analyzer.check",       # per static plan-analysis entry point
     "admission.enqueue",    # per request submitted to admission control
@@ -107,6 +108,17 @@ class _FaultPlan:
 
 
 _active: Optional[_FaultPlan] = None
+
+
+def sites() -> frozenset[str]:
+    """The registry of every injection site wired into the engine.
+
+    The single enumeration point: the chaos suite, the fault-site lint
+    (``python -m repro.analysis.concurrency faults``) and DESIGN.md all
+    key off this call, so a site added in code but missing from the docs
+    (or vice versa) fails CI.
+    """
+    return INJECTION_SITES
 
 
 def hit(site: str) -> None:

@@ -23,12 +23,12 @@ observation, which the ``dropped`` counter makes visible.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from . import faultinject
 from .catalog.statistics import CardinalityCorrection, CorrectionStore
+from .concurrency import TrackedLock
 from .core.optimizer.cardinality import predicate_fingerprint
 from .errors import InjectedFault
 from .physical.plan import PFilter, PTableScan
@@ -195,7 +195,7 @@ class FeedbackLoop:
         self.q_error_threshold = q_error_threshold
         self.min_correction_q_error = min_correction_q_error
         self._row_count_of = row_count_of
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("feedback.stats")
         #: observability counters (served through the wire ``metrics`` op)
         self.plans_recorded = 0
         self.corrections_recorded = 0
@@ -253,10 +253,15 @@ class FeedbackLoop:
 
     def as_dict(self) -> dict:
         """Frozen-name counter snapshot for the server ``metrics`` op."""
+        # Read the correction store *before* taking the stats lock:
+        # len(corrections) acquires stats.corrections (level 55), which
+        # sits below feedback.stats (92) in the lock hierarchy and must
+        # therefore never be taken while the stats lock is held.
+        stored = len(self.corrections)
         with self._lock:
             return {"plans_recorded": self.plans_recorded,
                     "corrections_recorded": self.corrections_recorded,
                     "plans_invalidated": self.plans_invalidated,
                     "dropped": self.dropped,
                     "q_error_threshold": self.q_error_threshold,
-                    "corrections_stored": len(self.corrections)}
+                    "corrections_stored": stored}

@@ -24,12 +24,12 @@ Soundness comes from three mechanisms:
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
 
 from . import faultinject
+from .concurrency import TrackedLock
 from .errors import SqlSyntaxError
 from .sql.lexer import TokenType, tokenize
 from .stats_version import (DEFAULT_DRIFT_THRESHOLD, StatsSnapshot, capture,
@@ -137,8 +137,8 @@ class _Shard:
 
     __slots__ = ("lock", "entries")
 
-    def __init__(self) -> None:
-        self.lock = threading.Lock()
+    def __init__(self, index: int) -> None:
+        self.lock = TrackedLock(f"plancache.shard:{index}")
         self.entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
 
 
@@ -174,10 +174,10 @@ class PlanCache:
         self.drift_threshold = drift_threshold
         self._row_count_of = row_count_of
         self._validator = validator
-        self._shards = [_Shard() for _ in range(shards)]
+        self._shards = [_Shard(i) for i in range(shards)]
         self._shard_capacity = -(-capacity // shards)  # ceil
         self.stats = CacheStats()
-        self._stats_lock = threading.Lock()
+        self._stats_lock = TrackedLock("plancache.stats")
 
     @property
     def shards(self) -> int:
@@ -192,7 +192,11 @@ class PlanCache:
                     getattr(self.stats, field_name) + n)
 
     def __len__(self) -> int:
-        return sum(len(shard.entries) for shard in self._shards)
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.entries)
+        return total
 
     def __contains__(self, key: tuple) -> bool:
         shard = self._shard_for(key)

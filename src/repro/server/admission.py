@@ -26,6 +26,7 @@ from collections import deque
 from typing import Any, Callable, Optional
 
 from .. import faultinject
+from ..concurrency import TrackedCondition
 from ..errors import ServerError, ServerOverloaded
 
 DEFAULT_MAX_WORKERS = 4
@@ -76,7 +77,7 @@ class ResourcePool:
         self.row_budget = row_budget
         self._memory_available = memory_rows
         self._rows_available = row_budget
-        self._cv = threading.Condition()
+        self._cv = TrackedCondition("server.pool")
 
     def available(self) -> dict:
         with self._cv:
@@ -188,7 +189,7 @@ class AdmissionController:
             raise ValueError("max_queue_depth must be at least 1")
         self.max_workers = max_workers
         self.max_queue_depth = max_queue_depth
-        self._cv = threading.Condition()
+        self._cv = TrackedCondition("admission.queue")
         self._queues: dict[str, deque[_Job]] = {}
         self._rotation: deque[str] = deque()
         self._closed = False

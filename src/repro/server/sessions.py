@@ -36,10 +36,10 @@ and is rejected inside an explicit transaction.
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..concurrency import TrackedLock
 from ..errors import (SessionClosed, TransactionConflict, TransactionError)
 from ..governor import OptimizerBudget, ResourceGovernor
 from ..storage.table import Storage, StorageSnapshot, StoredTable
@@ -104,7 +104,7 @@ class _Transaction:
         #: what commit hands to the write-ahead log on a durable
         #: database.
         self.changes: dict[str, list[tuple]] = {}
-        self.locks: dict[str, threading.Lock] = {}
+        self.locks: dict[str, TrackedLock] = {}
         #: Set when a statement failed half-applied; the transaction can
         #: then only be rolled back (statement-level undo would require
         #: rebuilding indexes, and an honest abort is cheaper and safer).

@@ -37,6 +37,7 @@ from typing import Optional
 
 from .. import faultinject
 from ..algebra.datatypes import DataType
+from ..concurrency import TrackedLock
 # The tagged-JSON value codec is shared with the durability subsystem
 # (WAL records and checkpoints use the same representation); re-exported
 # here because it is part of this module's public wire contract.
@@ -150,9 +151,9 @@ class QueryServer:
         self._conn_threads: list[threading.Thread] = []
         self._stopping = threading.Event()
         self._draining = threading.Event()
-        self._active_lock = threading.Lock()
+        self._active_lock = TrackedLock("wire.active")
         self._active_requests = 0
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("wire.conns")
 
     # -- lifecycle -----------------------------------------------------------------
 

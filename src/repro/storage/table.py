@@ -18,14 +18,20 @@ writers commit after them.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from .. import faultinject
 from ..algebra.datatypes import value_matches_type
 from ..catalog.catalog import IndexDef, TableDef
 from ..catalog.statistics import TableStats, compute_table_stats
-from ..errors import ExecutionError
+from ..concurrency import TrackedLock, TrackedRLock
+from ..errors import ExecutionError, TransactionConflict
+
+#: Bound on autocommit writer-lock acquisition (seconds).  Generous —
+#: an autocommit insert behind a slow checkpoint should wait, not
+#: flake — but finite, so a leaked writer lock surfaces as a
+#: :class:`TransactionConflict` instead of a hung thread.
+AUTOCOMMIT_LOCK_TIMEOUT = 30.0
 
 
 class StoredTable:
@@ -246,12 +252,12 @@ class Storage:
 
     def __init__(self) -> None:
         self._tables: dict[str, StoredTable] = {}
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("storage.tables")
         # Plain (non-reentrant) locks, deliberately: two transactions
         # driven by the same thread must still conflict rather than both
         # "holding" the lock, and a server may acquire on a worker thread
         # and release on the connection thread at commit.
-        self._writer_locks: dict[str, threading.Lock] = {}
+        self._writer_locks: dict[str, TrackedLock] = {}
         self.data_version = 0
         #: Write-ahead hook (duck-typed ``log_commit``), set by a
         #: durable :class:`~repro.database.Database`.  ``None`` — the
@@ -267,7 +273,8 @@ class Storage:
                     f"storage for {definition.name!r} exists")
             table = StoredTable(definition)
             self._tables[key] = table
-            self._writer_locks.setdefault(key, threading.Lock())
+            self._writer_locks.setdefault(
+                key, TrackedLock(f"storage.writer:{key}"))
             self.data_version += 1
             return table
 
@@ -290,16 +297,17 @@ class Storage:
         with self._lock:
             return StorageSnapshot(self._tables, self.data_version)
 
-    def writer_lock(self, name: str) -> threading.Lock:
+    def writer_lock(self, name: str) -> TrackedLock:
         """The single-writer-per-table lock serializing installs."""
         key = name.lower()
         with self._lock:
             if key not in self._tables:
                 raise ExecutionError(
                     f"no storage for table {name!r}")
-            return self._writer_locks.setdefault(key, threading.Lock())
+            return self._writer_locks.setdefault(
+                key, TrackedLock(f"storage.writer:{key}"))
 
-    def all_writer_locks(self) -> list[tuple[str, threading.Lock]]:
+    def all_writer_locks(self) -> list[tuple[str, TrackedLock]]:
         """Every table's writer lock, sorted by name — the checkpointer
         acquires them all (in this deterministic order) to quiesce
         commits without blocking readers."""
@@ -359,16 +367,29 @@ class Storage:
         holding snapshots never observe a partially-applied batch.
         """
         lock = self.writer_lock(name)
-        with lock:
+        if not lock.acquire(timeout=AUTOCOMMIT_LOCK_TIMEOUT):
+            raise TransactionConflict(
+                f"could not acquire the writer lock on table {name!r} "
+                f"within {AUTOCOMMIT_LOCK_TIMEOUT:.0f}s (autocommit "
+                f"insert)")
+        try:
             version = self.get(name).clone()
             inserted = version.insert_rows(rows)
             self.install_many({name: version}, changes={name: inserted})
             return len(inserted)
+        finally:
+            lock.release()
 
     def apply_add_index(self, name: str, index_def: IndexDef) -> None:
         """Copy-on-write index creation (DDL autocommits)."""
         lock = self.writer_lock(name)
-        with lock:
+        if not lock.acquire(timeout=AUTOCOMMIT_LOCK_TIMEOUT):
+            raise TransactionConflict(
+                f"could not acquire the writer lock on table {name!r} "
+                f"within {AUTOCOMMIT_LOCK_TIMEOUT:.0f}s (create index)")
+        try:
             version = self.get(name).clone()
             version.add_index(index_def)
             self.install(name, version)
+        finally:
+            lock.release()

@@ -1,0 +1,31 @@
+"""Deliberately inverted two-lock fixture.
+
+``ab()`` nests fixture.alpha -> fixture.beta (ascending: legal);
+``ba()`` nests fixture.beta -> fixture.alpha (descending: a hierarchy
+violation, and together with ``ab()`` a lock-order cycle).  The static
+analyzer must report both, and the runtime race detector must raise on
+whichever direction completes second.
+
+This file lives under tests/fixtures (not src/) so the default
+``check`` over the repro package never sees it; the CI gate runs it
+explicitly with ``--expect-violations``.
+"""
+
+from repro.concurrency import TrackedLock
+
+A = TrackedLock("fixture.alpha", level=210)
+B = TrackedLock("fixture.beta", level=220)
+
+
+def ab() -> None:
+    """The sanctioned order: alpha (210) then beta (220)."""
+    with A:
+        with B:
+            pass
+
+
+def ba() -> None:
+    """The inversion: beta (220) held while taking alpha (210)."""
+    with B:
+        with A:
+            pass

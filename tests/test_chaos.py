@@ -72,6 +72,7 @@ class TestSiteRegistry:
         assert INJECTION_SITES == {
             "optimizer.explore", "optimizer.memo", "optimizer.implement",
             "plancache.get", "plancache.put", "executor.open",
+            "executor.open.vectorized",
             "executor.naive", "analyzer.check", "admission.enqueue",
             "snapshot.install", "wire.decode", "feedback.record",
             "wal.append", "wal.fsync", "wal.checkpoint",

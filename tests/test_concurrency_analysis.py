@@ -1,0 +1,207 @@
+"""Static concurrency analyzer: clean real tree, caught fixture,
+fault-site registry lint, CLI exit codes."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.analysis.concurrency import (analyze_tree, check_fault_sites,
+                                        extract_tree)
+from repro.concurrency import HIERARCHY, spec_for
+from repro.faultinject import INJECTION_SITES, sites
+
+REPRO_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(REPRO_ROOT))
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "deadlock_fixture.py")
+
+
+# -- the real tree ---------------------------------------------------------------
+
+
+def test_real_tree_is_clean():
+    issues, graph = analyze_tree(REPRO_ROOT)
+    assert issues == [], "\n".join(i.render() for i in issues)
+    assert graph.cycles == []
+
+
+def test_real_tree_extracts_known_edges():
+    """Sanity: the analyzer actually sees the engine's lock nesting —
+    commit's writer->wal and the checkpoint paths, not a trivially
+    empty graph."""
+    issues, graph = analyze_tree(REPRO_ROOT)
+    ordered = set(graph.edges)
+    assert ("storage.writer", "wal.log") in ordered
+    assert ("storage.writer", "storage.tables") in ordered
+    for held, acquired in ordered:
+        if held == acquired:
+            continue
+        assert spec_for(held).level < spec_for(acquired).level, \
+            f"{held} -> {acquired} descends"
+
+
+def test_hierarchy_levels_are_unique():
+    levels = [spec.level for spec in HIERARCHY]
+    assert len(levels) == len(set(levels))
+
+
+# -- the seeded fixture ----------------------------------------------------------
+
+
+def test_fixture_inversion_is_caught():
+    extraction = extract_tree(FIXTURE)
+    from repro.analysis.concurrency.graph import build_graph
+    graph = build_graph(extraction)
+    codes = {i.code for i in graph.issues}
+    assert "order.descend" in codes
+    assert "order.cycle" in codes
+    assert ["fixture.alpha", "fixture.beta"] in graph.cycles
+
+
+def test_fixture_blame_names_both_locks_and_sites():
+    extraction = extract_tree(FIXTURE)
+    from repro.analysis.concurrency.graph import build_graph
+    graph = build_graph(extraction)
+    text = graph.explain_cycle(graph.cycles[0])
+    assert "fixture.alpha" in text and "fixture.beta" in text
+    assert "deadlock_fixture.py:" in text  # acquisition sites
+
+
+# -- CLI gate --------------------------------------------------------------------
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("REPRO_RACE", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.concurrency", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+
+def test_cli_check_clean_tree_exits_zero():
+    proc = _run_cli("check")
+    assert proc.returncode == 0, proc.stderr
+    assert "0 issues" in proc.stdout
+
+
+def test_cli_check_fixture_exits_nonzero_without_expect():
+    proc = _run_cli("check", FIXTURE)
+    assert proc.returncode == 1
+    assert "order.cycle" in proc.stderr
+
+
+def test_cli_expect_violations_inverts_gate():
+    proc = _run_cli("check", FIXTURE, "--expect-violations")
+    assert proc.returncode == 0, proc.stderr
+    proc = _run_cli("check", "--expect-violations")  # clean tree
+    assert proc.returncode == 1
+
+
+def test_cli_hierarchy_lists_all_locks():
+    proc = _run_cli("hierarchy")
+    assert proc.returncode == 0
+    for spec in HIERARCHY:
+        assert spec.name in proc.stdout
+
+
+# -- fault-site registry ---------------------------------------------------------
+
+
+def test_fault_sites_unique_and_enumerable():
+    listed = sites()
+    assert listed == INJECTION_SITES
+    assert len(set(listed)) == len(listed)
+
+
+def test_fault_registry_lint_clean():
+    design = os.path.join(REPO_ROOT, "DESIGN.md")
+    issues = check_fault_sites(REPRO_ROOT, design)
+    assert issues == [], "\n".join(i.render() for i in issues)
+
+
+def test_fault_lint_catches_unregistered_site(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import repro.faultinject as fi\n"
+                   "fi.hit('nonexistent.site')\n")
+    issues = check_fault_sites(str(tmp_path))
+    codes = {i.code for i in issues}
+    assert "faults.unregistered-site" in codes
+
+
+def test_fault_lint_catches_duplicate_location(tmp_path):
+    dup = tmp_path / "dup.py"
+    dup.write_text("import repro.faultinject as fi\n"
+                   "fi.hit('wal.append')\n"
+                   "fi.hit('wal.append')\n")
+    issues = check_fault_sites(str(tmp_path))
+    assert any(i.code == "faults.duplicate-site" for i in issues)
+
+
+# -- inline lints ----------------------------------------------------------------
+
+
+def test_timeout_required_lint(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "from repro.concurrency import TrackedLock\n"
+        "L = TrackedLock('storage.writer:x')\n"
+        "def f():\n"
+        "    with L:\n"
+        "        pass\n")
+    extraction = extract_tree(str(src))
+    assert any(i.code == "lock.timeout-required"
+               for i in extraction.issues)
+
+
+def test_raw_lock_lint(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text("import threading\n"
+                   "L = threading.Lock()\n")
+    extraction = extract_tree(str(src))
+    assert any(i.code == "lock.raw" for i in extraction.issues)
+
+
+def test_undeclared_lock_lint(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text("from repro.concurrency import TrackedLock\n"
+                   "L = TrackedLock('no.such.lock')\n")
+    extraction = extract_tree(str(src))
+    assert any(i.code == "lock.undeclared" for i in extraction.issues)
+
+
+def test_blocking_under_hot_lock_lint(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "import os\n"
+        "from repro.concurrency import TrackedLock\n"
+        "L = TrackedLock('db.sessions')\n"  # hot
+        "def f(handle):\n"
+        "    with L:\n"
+        "        os.fsync(handle)\n")
+    from repro.analysis.concurrency import check_blocking
+    extraction = extract_tree(str(src))
+    issues = check_blocking(extraction)
+    assert any(i.code == "blocking.hot-lock" for i in issues)
+
+
+def test_guarded_field_lint(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "from repro.concurrency import TrackedLock\n"
+        "class FeedbackLoop:\n"
+        "    def __init__(self):\n"
+        "        self._lock = TrackedLock('feedback.stats')\n"
+        "        self.dropped = 0\n"
+        "    def bump(self):\n"
+        "        self.dropped += 1\n")  # no lock held
+    extraction = extract_tree(str(src))
+    assert any(i.code == "guard.unlocked-write"
+               for i in extraction.issues)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
