@@ -248,3 +248,139 @@ def vectorized_speedup_table(report: dict) -> str:
     return format_table(
         ["workload", "tuple_s", "vectorized_s", "vec_rows/s", "speedup"],
         rows)
+
+
+# -- columnar storage / morsel parallelism --------------------------------------
+
+class _RowPivotTable:
+    """A scan view that re-pivots the row façade on every scan — the
+    pre-columnar (PR 4) cost model, where storage was row tuples and the
+    vectorized engine paid a full pivot per query."""
+
+    def __init__(self, table) -> None:
+        self._table = table
+
+    def scan_units(self):
+        from ..storage.columnar import ScanUnit
+
+        rows = list(self._table.rows)
+        if rows:
+            cols = [list(column) for column in zip(*rows)]
+        else:
+            cols = [[] for _ in self._table.columns()]
+        return [ScanUnit((), len(rows), cols=cols)]
+
+    def __getattr__(self, name):
+        return getattr(self._table, name)
+
+
+class _RowPivotStorage:
+    """Storage view handing out :class:`_RowPivotTable` scan views."""
+
+    def __init__(self, storage) -> None:
+        self._storage = storage
+
+    def get(self, name):
+        return _RowPivotTable(self._storage.get(name))
+
+    def __getattr__(self, name):
+        return getattr(self._storage, name)
+
+
+def _best_of(fn, repeat: int) -> tuple[float, list]:
+    best = float("inf")
+    rows: list = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        rows = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, rows
+
+
+def columnar_speedup_report(scale_factor: float = 0.01,
+                            repeat: int = 3,
+                            morsel_workers: int = 4) -> dict:
+    """Time the Q17-shaped grouped aggregate three ways.
+
+    * ``row_pivot`` — the vectorized engine over a storage view that
+      re-pivots ``table.rows`` per query (the pre-columnar baseline);
+    * ``columnar`` — native encoded chunks with cached decode;
+    * ``morsel`` — the same, with ``morsel_workers`` parallel workers.
+
+    Returns the ``BENCH_columnar.json`` payload.  ``parallel_effective``
+    reports whether this host can be *expected* to scale (≥4 cores and
+    the GIL disabled) — on a small or GIL-bound host the morsel numbers
+    are recorded but carry no speedup claim.
+    """
+    import os
+    import sys
+
+    from ..executor import VectorizedExecutor
+
+    sql = ("select l_partkey, 0.2 * avg(l_quantity) from lineitem "
+           "group by l_partkey")
+    db = tpch_database(scale_factor)
+    input_rows = len(db.storage.get("lineitem").rows)
+    plan = db.plan(sql, FULL)
+
+    serial = VectorizedExecutor(db.storage)
+    prepared = serial.prepare(plan)
+    serial.run_prepared(prepared)  # warm the per-chunk decode caches
+    columnar_s, columnar_rows = _best_of(
+        lambda: serial.run_prepared(prepared), repeat)
+
+    pivot_view = _RowPivotStorage(db.storage)
+    pivot_s, pivot_rows = _best_of(
+        lambda: serial.run_prepared(prepared, storage=pivot_view), repeat)
+    assert sorted(pivot_rows) == sorted(columnar_rows), "engines disagree"
+
+    parallel = VectorizedExecutor(db.storage,
+                                  morsel_workers=morsel_workers)
+    prepared_parallel = parallel.prepare(plan)
+    parallel.run_prepared(prepared_parallel)
+    morsel_s, morsel_rows = _best_of(
+        lambda: parallel.run_prepared(prepared_parallel), repeat)
+    assert sorted(morsel_rows) == sorted(columnar_rows), \
+        "morsel rows disagree"
+
+    gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    cores = os.cpu_count() or 1
+    table = db.storage.get("lineitem")
+    encodings = {}
+    for unit in table.scan_units():
+        chunk = getattr(unit, "_chunk", None)
+        if chunk is not None:
+            for column, kind in zip(table.definition.columns,
+                                    chunk.encodings):
+                encodings.setdefault(column.name, kind)
+            break
+    return {
+        "benchmark": "columnar_storage",
+        "scale_factor": scale_factor,
+        "repeat": repeat,
+        "sql": sql,
+        "input_rows": input_rows,
+        "output_rows": len(columnar_rows),
+        "lineitem_encodings": encodings,
+        "row_pivot_seconds": pivot_s,
+        "columnar_seconds": columnar_s,
+        "columnar_speedup": pivot_s / columnar_s,
+        "morsel_workers": morsel_workers,
+        "morsel_seconds": morsel_s,
+        "morsel_scaling": columnar_s / morsel_s,
+        "cpu_count": cores,
+        "gil_enabled": gil_enabled,
+        "parallel_effective": cores >= 4 and not gil_enabled,
+    }
+
+
+def columnar_speedup_table(report: dict) -> str:
+    """Paper-style table for a :func:`columnar_speedup_report`."""
+    rows = [
+        ["row_pivot", report["row_pivot_seconds"], "1 (baseline)"],
+        ["columnar", report["columnar_seconds"],
+         f"{report['columnar_speedup']:.2f}x"],
+        [f"morsel x{report['morsel_workers']}", report["morsel_seconds"],
+         f"{report['morsel_scaling']:.2f}x vs columnar"],
+    ]
+    return format_table(["configuration", "seconds", "speedup"], rows)

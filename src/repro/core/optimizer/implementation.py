@@ -218,8 +218,18 @@ class Implementer:
     def _implement_select(self, op: Select) -> Iterable[CostedPlan]:
         child = self._child(op.child)
         rows = self._rows(op.child)
-        yield CostedPlan(child.cost + rows * CPU_ROW,
-                         PFilter(child.plan, op.predicate))
+        cost = child.cost + rows * CPU_ROW
+        if isinstance(child.plan, PTableScan):
+            # A filter directly over a stored scan executes as a fused
+            # zone-skipping scan: chunks the zone maps prove empty for
+            # the predicate are neither decoded nor filtered.  Discount
+            # both the scan touch and the filter evaluation for them.
+            skipped = self._context.zone_skip_rows(
+                child.plan.table_name, op.predicate, child.plan.columns)
+            if skipped > 0.0:
+                cost = max(child.cost - skipped * SCAN_ROW, 0.0) \
+                    + max(rows - skipped, 0.0) * CPU_ROW
+        yield CostedPlan(cost, PFilter(child.plan, op.predicate))
         # Constant-equality index seek directly on a stored table.
         for get_op, extra in self._access_paths(op.child):
             seek = self._constant_seek(get_op, op.predicate, extra)

@@ -71,6 +71,17 @@ class _TreeContext:
         stats = self._optimizer.stats_provider(table_name)
         return float(stats.row_count) if stats is not None else 1000.0
 
+    def zone_skip_rows(self, table_name: str, predicate,
+                       scan_columns) -> float:
+        """Rows a zone-map-pruned scan would skip for ``predicate``
+        (literal conjuncts only — parameters are unknown at plan time).
+        0.0 without a zone provider, so costing is unchanged when the
+        optimizer runs detached from storage."""
+        provider = self._optimizer.zone_provider
+        if provider is None:
+            return 0.0
+        return provider(table_name, predicate, scan_columns)
+
     def pick_index(self, table_name: str,
                    available: set[str]) -> Optional[tuple[str, ...]]:
         """The widest index whose every column has a probe value."""
@@ -113,10 +124,15 @@ class Optimizer:
                  stats_provider: Callable[[str], Optional[TableStats]],
                  index_provider: Callable[[str], list[tuple[str, ...]]],
                  config: OptimizerConfig | None = None,
-                 governor=None, corrections=None) -> None:
+                 governor=None, corrections=None,
+                 zone_provider=None) -> None:
         self.stats_provider = stats_provider
         self.index_provider = index_provider
         self.config = config or OptimizerConfig()
+        #: Optional ``(table_name, predicate, scan_columns) -> float``
+        #: returning how many stored rows the chunk zone maps prove
+        #: unreachable for the predicate — feeds zone-aware scan costs.
+        self.zone_provider = zone_provider
         #: Optional per-query ResourceGovernor; ticked per exploration
         #: task and consulted for the memo-group cap and the deadline.
         self.governor = governor

@@ -48,7 +48,9 @@ from .governor import OptimizerBudget, QueryStats, ResourceGovernor
 from .physical import PhysicalOp, explain_physical
 from .plancache import CachedPlan, PlanCache, normalize_sql_key
 from .sql import parse, split_explain
-from .storage import Storage
+from .executor.vector_expressions import split_conjuncts
+from .storage import DEFAULT_CHUNK_ROWS, Storage
+from .storage.columnar import compile_zone_filters
 
 #: Parameter bindings accepted by ``execute``: a sequence for positional
 #: ``?`` markers (also accepted, in slot order, for named ones) or a
@@ -341,18 +343,24 @@ class Database:
                  q_error_threshold: float = DEFAULT_Q_ERROR_THRESHOLD,
                  path: str | None = None,
                  fsync: bool = True,
-                 checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES
+                 checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+                 morsel_workers: int = 1,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS
                  ) -> None:
         if default_engine not in ENGINES:
             raise ValueError(
                 f"unknown execution engine {default_engine!r}; "
                 f"expected one of: {', '.join(ENGINES)}")
         self.catalog = Catalog()
-        self.storage = Storage()
+        self.storage = Storage(chunk_rows=chunk_rows)
         self._binder = Binder(self.catalog)
         self._executor = PhysicalExecutor(self.storage)
+        # ``morsel_workers > 1`` lets multi-chunk vectorized scans fan
+        # chunks out over the shared morsel helper pool (repro.executor
+        # .morsel); 1 — the default — keeps scans on the query thread.
         self._vectorized = VectorizedExecutor(self.storage,
-                                              batch_size=batch_size)
+                                              batch_size=batch_size,
+                                              morsel_workers=morsel_workers)
         self.default_engine = default_engine
         #: Runtime cardinality observations (repro.feedback); consulted
         #: by every optimizer this database builds.
@@ -1072,7 +1080,8 @@ class Database:
                    gov: ResourceGovernor | None = None) -> Optimizer:
         return Optimizer(self._stats_provider, self._index_provider,
                          mode.optimizer_config, governor=gov,
-                         corrections=self.corrections)
+                         corrections=self.corrections,
+                         zone_provider=self._zone_skip_rows)
 
     # -- optimizer services ------------------------------------------------------
 
@@ -1091,3 +1100,24 @@ class Database:
         for index in self.catalog.indexes_on(table_name):
             candidates.append(tuple(index.column_names))
         return candidates
+
+    def _zone_skip_rows(self, table_name: str, predicate,
+                        scan_columns) -> float:
+        """Rows the chunk zone maps prove unreachable for ``predicate``
+        — the optimizer's zone provider (literal conjuncts only; at
+        plan time parameter values are unknown)."""
+        try:
+            table = self.storage.get(table_name)
+        except ReproError:
+            return 0.0
+        layout = {c.cid: i for i, c in enumerate(scan_columns)}
+        prunes = compile_zone_filters(split_conjuncts(predicate), layout,
+                                      allow_params=False)
+        if not prunes:
+            return 0.0
+        no_params: dict = {}
+        skipped = 0
+        for unit in table.scan_units():
+            if any(fn(unit.zones, no_params) for fn in prunes):
+                skipped += unit.nrows
+        return float(skipped)

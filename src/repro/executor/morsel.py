@@ -1,0 +1,181 @@
+"""Morsel-driven parallel scans (Leis et al., *Morsel-Driven Parallelism*).
+
+A parallel scan splits its storage chunks into *morsels* — independent
+decode-and-filter tasks — published on a per-query :class:`MorselQueue`.
+Helper jobs run on a process-wide :class:`AdmissionController` worker
+pool (the same bounded-pool machinery the server uses for admission,
+instantiated separately so query-internal parallelism can never deadlock
+against server admission), each draining the queue until no tasks
+remain.  The consumer — the thread iterating the scan — merges results
+in task order, so parallel output is bit-identical to serial output even
+for order-sensitive consumers (Sort, TopN, streaming aggregates).
+
+Deadlock-freedom does not depend on the helpers at all: the consumer
+*helps*.  Whenever its next in-order result is missing it first tries to
+claim an unclaimed task and process it inline; it blocks on the
+condition variable only when every remaining task is already claimed by
+a live worker, and every claimed task terminates in ``complete`` or
+``fail``.  Zero helpers (a saturated pool, a shed submission) therefore
+degrades to plain serial execution, never to a hang.
+
+Lock discipline: ``morsel.queue`` (level 74, declared in
+:data:`repro.concurrency.HIERARCHY`) guards each queue's task cursor,
+result map and error/cancel flags; workers and the consumer hold no
+other lock while touching it.  ``morsel.pool`` (level 73) guards lazy
+construction of the shared helper pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Any, Callable, Iterator, Optional
+
+from ..concurrency import TrackedCondition, TrackedLock
+from ..errors import ReproError
+from ..server.admission import AdmissionController
+
+#: Workers in the shared helper pool.  Helpers are pure CPU, so sizing
+#: past the core count buys nothing; the floor keeps small machines from
+#: serializing multi-worker tests.
+DEFAULT_POOL_WORKERS = max(4, os.cpu_count() or 1)
+
+_queue_ids = itertools.count(1)
+
+_pool_lock = TrackedLock("morsel.pool")
+_pool: Optional[AdmissionController] = None
+
+
+def helper_pool() -> AdmissionController:
+    """The process-wide morsel helper pool (created on first use; its
+    workers are daemon threads, so it lives for the process)."""
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = AdmissionController(
+                max_workers=DEFAULT_POOL_WORKERS,
+                max_queue_depth=max(64, 4 * DEFAULT_POOL_WORKERS))
+        return _pool
+
+
+class MorselQueue:
+    """One query's morsel work queue with ordered result hand-off.
+
+    Tasks are the integers ``0..ntasks-1``; workers :meth:`claim` the
+    next unclaimed index, process it, and :meth:`complete` (or
+    :meth:`fail`) it.  The consumer collects results strictly in index
+    order via :meth:`take`/:meth:`wait`.  ``cancel`` stops further
+    claims when the consumer abandons the scan (early LIMIT cutoff, an
+    error downstream); results completed after cancellation are simply
+    dropped with the queue.
+    """
+
+    def __init__(self, ntasks: int) -> None:
+        self._cv = TrackedCondition(f"morsel.queue:{next(_queue_ids)}")
+        self._ntasks = ntasks
+        self._next_task = 0
+        self._results: dict[int, Any] = {}
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+
+    def claim(self) -> Optional[int]:
+        """The next unclaimed task index, or ``None`` when none remain
+        (all claimed, cancelled, or failed)."""
+        with self._cv:
+            if self._cancelled or self._error is not None \
+                    or self._next_task >= self._ntasks:
+                return None
+            index = self._next_task
+            self._next_task += 1
+            return index
+
+    def complete(self, index: int, result: Any) -> None:
+        with self._cv:
+            self._results[index] = result
+            self._cv.notify_all()
+
+    def fail(self, error: BaseException) -> None:
+        """Record a task failure; the first error wins and is re-raised
+        on the consumer thread."""
+        with self._cv:
+            if self._error is None:
+                self._error = error
+            self._cv.notify_all()
+
+    def cancel(self) -> None:
+        with self._cv:
+            self._cancelled = True
+            self._cv.notify_all()
+
+    def take(self, index: int) -> tuple[bool, Any]:
+        """Non-blocking: ``(True, result)`` when ``index`` is ready."""
+        with self._cv:
+            if self._error is not None:
+                raise self._error
+            if index in self._results:
+                return True, self._results.pop(index)
+            return False, None
+
+    def wait(self, index: int) -> Any:
+        """Block until result ``index`` arrives.  Only legal when the
+        task is claimed by a live worker (the consumer's helping loop
+        guarantees this), so the wait always terminates."""
+        with self._cv:
+            while True:
+                if self._error is not None:
+                    raise self._error
+                if index in self._results:
+                    return self._results.pop(index)
+                self._cv.wait()
+
+
+def drain(queue: MorselQueue, process: Callable[[int], Any]) -> None:
+    """Helper-job body: claim and process tasks until none remain."""
+    while True:
+        index = queue.claim()
+        if index is None:
+            return
+        try:
+            queue.complete(index, process(index))
+        except BaseException as exc:
+            queue.fail(exc)
+            return
+
+
+def run_morsels(ntasks: int, process: Callable[[int], Any],
+                helpers: int) -> Iterator[Any]:
+    """Process ``0..ntasks-1`` with up to ``helpers`` pool workers and
+    yield the results in task order (the ordered merge).
+
+    The consumer helps: it claims tasks itself while its next in-order
+    result is missing, and waits only for tasks already claimed by a
+    worker.  Failed helper submissions (overload, shutdown, an injected
+    fault) just reduce parallelism.
+    """
+    queue = MorselQueue(ntasks)
+    if helpers > 0:
+        pool = helper_pool()
+        for _ in range(min(helpers, ntasks - 1)):
+            try:
+                pool.submit("morsels", lambda: drain(queue, process))
+            except ReproError:
+                break  # shed or shut down: run with fewer helpers
+    try:
+        for index in range(ntasks):
+            while True:
+                ready, result = queue.take(index)
+                if ready:
+                    break
+                claimed = queue.claim()
+                if claimed is None:
+                    # Everything up to ``index`` is claimed by workers.
+                    result = queue.wait(index)
+                    break
+                try:
+                    queue.complete(claimed, process(claimed))
+                except BaseException as exc:
+                    queue.fail(exc)
+                    raise
+            yield result
+    finally:
+        queue.cancel()

@@ -55,8 +55,10 @@ from ..physical.plan import (PConstantScan, PDifference, PFilter,
                              PScalarAggregate, PSegmentApply, PSegmentRef,
                              PSort, PStreamAggregate, PTableScan, PTop,
                              PTopN, PUnionAll, PhysicalOp)
+from ..storage.columnar import ScanUnit, compile_zone_filters
 from ..storage.table import Storage
 from .expressions import build_layout, compile_expr
+from .morsel import run_morsels
 from .naive import _SortValue
 from .physical import (ExecutionContext, PhysicalExecutor, _loop_join_row,
                        _TopNEntry)
@@ -185,11 +187,15 @@ class VectorizedExecutor:
     """
 
     def __init__(self, storage: Storage,
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 morsel_workers: int = 1) -> None:
         if batch_size < 1:
             raise ExecutionError("batch_size must be at least 1")
+        if morsel_workers < 1:
+            raise ExecutionError("morsel_workers must be at least 1")
         self._storage = storage
         self._batch_size = batch_size
+        self._morsel_workers = morsel_workers
         # Row-engine sibling for the inner side of correlated Apply: it
         # re-executes per outer row over a handful of rows, where batch
         # assembly costs more than it saves (and row form keeps the
@@ -246,17 +252,95 @@ class VectorizedExecutor:
 
     def _prepare_PTableScan(self, plan: PTableScan) -> _VecExecutable:
         self._storage.get(plan.table_name)  # validate eagerly
+        return _VecExecutable(self._make_scan(plan, None))
+
+    def _make_scan(self, plan: PTableScan, predicate
+                   ) -> Callable[[ExecutionContext], Iterator[Batch]]:
+        """A scan source over native storage chunks, optionally fused
+        with a filter predicate.
+
+        With a predicate, each chunk's zone maps are consulted first: a
+        chunk no row of which can satisfy the predicate is skipped
+        without decoding.  Skipped rows are still charged to the
+        governor and to the scan node's profile count, so `EXPLAIN
+        ANALYZE` actuals and budget accounting stay identical to the
+        tuple engine (which scans every row).
+
+        With ``morsel_workers > 1`` multi-chunk scans fan chunks out as
+        morsels over the shared helper pool (see :mod:`.morsel`); the
+        ordered merge plus consumer-side governor/profile charging keep
+        parallel output and accounting bit-identical to serial.
+        """
         name = plan.table_name
         size = self._batch_size
+        if predicate is not None:
+            layout = build_layout(plan.columns)
+            conjunct_exprs = split_conjuncts(predicate)
+            filters = [compile_vector(c, layout) for c in conjunct_exprs]
+            prunes = compile_zone_filters(conjunct_exprs, layout)
+        else:
+            filters = []
+            prunes = []
+        fused = predicate is not None
+        scan_key = id(plan)
+        workers = self._morsel_workers
+
+        def process_unit(unit: ScanUnit, params
+                         ) -> list[tuple[int, Optional[Batch]]]:
+            """Decode and filter one storage chunk.  Returns the ordered
+            (rows_charged, surviving_batch_or_None) steps — pure, so it
+            may run on a morsel helper thread."""
+            if prunes and any(fn(unit.zones, params) for fn in prunes):
+                return [(unit.nrows, None)]
+            cols = unit.columns()
+            total = unit.nrows
+            steps: list[tuple[int, Optional[Batch]]] = []
+            for start in range(0, total, size):
+                stop = min(start + size, total)
+                if stop - start == total:
+                    # whole-chunk batch: share the decoded lists
+                    batch: Optional[Batch] = Batch(cols, total)
+                else:
+                    batch = Batch([col[start:stop] for col in cols],
+                                  stop - start)
+                nrows = stop - start
+                for conjunct in filters:
+                    mask = conjunct(batch, params)
+                    keep = [i for i, v in enumerate(mask) if v is True]
+                    if not keep:
+                        batch = None
+                        break
+                    batch = take_batch(batch, keep)
+                steps.append((nrows, batch))
+            return steps
 
         def batches(ctx: ExecutionContext) -> Iterator[Batch]:
             table = ctx.storage.get(name)
+            units = table.scan_units()
             governor = ctx.governor
-            for cols, nrows in table.column_chunks(size):
-                if governor is not None:
-                    governor.consume_rows(nrows)
-                yield Batch(cols, nrows)
-        return _VecExecutable(batches)
+            profile = ctx.profile if fused else None
+            params = ctx.params
+            scanned = 0
+            try:
+                if workers > 1 and len(units) > 1:
+                    per_unit: Iterator[list] = run_morsels(
+                        len(units),
+                        lambda i: process_unit(units[i], params),
+                        workers - 1)
+                else:
+                    per_unit = (process_unit(unit, params)
+                                for unit in units)
+                for steps in per_unit:
+                    for charged, batch in steps:
+                        if governor is not None:
+                            governor.consume_rows(charged)
+                        scanned += charged
+                        if batch is not None:
+                            yield batch
+            finally:
+                if profile is not None:
+                    profile[scan_key] = profile.get(scan_key, 0) + scanned
+        return batches
 
     def _prepare_PIndexSeek(self, plan: PIndexSeek) -> _VecExecutable:
         table = self._storage.get(plan.table_name)
@@ -331,6 +415,13 @@ class VectorizedExecutor:
     # -- row-level operators ----------------------------------------------------
 
     def _prepare_PFilter(self, plan: PFilter) -> _VecExecutable:
+        if isinstance(plan.child, PTableScan):
+            # Fuse filter into the scan: zone-map chunk skipping plus
+            # decode-and-filter morsels.  The scan node's profile count
+            # is maintained inside the fused source.
+            self._storage.get(plan.child.table_name)  # validate eagerly
+            return _VecExecutable(
+                self._make_scan(plan.child, plan.predicate))
         child = self.prepare(plan.child)
         layout = build_layout(plan.child.columns)
         conjuncts = [compile_vector(c, layout)

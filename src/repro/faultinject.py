@@ -35,6 +35,7 @@ INJECTION_SITES = frozenset({
     "plancache.put",        # per plan-cache insertion
     "executor.open",        # per tuple-engine physical execution start
     "executor.open.vectorized",  # per vectorized-engine execution start
+    "columnar.decode",      # per column-chunk decode (first touch only)
     "executor.naive",       # per naive-interpreter run start
     "analyzer.check",       # per static plan-analysis entry point
     "admission.enqueue",    # per request submitted to admission control

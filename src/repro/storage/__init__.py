@@ -1,6 +1,11 @@
-"""Storage substrate: in-memory row store with hash and ordered indexes."""
+"""Storage substrate: columnar chunk store with a row façade, hash and
+ordered indexes, per-chunk encodings and zone maps."""
 
+from .columnar import (DEFAULT_CHUNK_ROWS, ColumnChunk, ColumnStore,
+                       ScanUnit, ZoneMap)
 from .index import HashIndex, OrderedIndex
-from .table import Storage, StoredTable
+from .table import RowView, Storage, StoredTable
 
-__all__ = ["HashIndex", "OrderedIndex", "Storage", "StoredTable"]
+__all__ = ["DEFAULT_CHUNK_ROWS", "ColumnChunk", "ColumnStore", "HashIndex",
+           "OrderedIndex", "RowView", "ScanUnit", "Storage", "StoredTable",
+           "ZoneMap"]

@@ -1,7 +1,14 @@
-"""In-memory row store with copy-on-write table versions.
+"""Columnar table storage with copy-on-write versions and a row façade.
 
-Rows are Python tuples in declaration order.  The store validates types and
-NOT NULL constraints on insert, enforces primary/unique keys through hash
+Data lives natively in a :class:`~repro.storage.columnar.ColumnStore` —
+sealed, encoded column chunks with zone maps plus a mutable tail (see
+:mod:`repro.storage.columnar`).  Logically, rows are still Python tuples
+in declaration order: :attr:`StoredTable.rows` is a :class:`RowView`
+sequence façade over the store, so the tuple/naive engines, the WAL and
+checkpoint codecs, and the index machinery keep operating on tuples
+while the vectorized engine scans the chunks directly
+(:meth:`StoredTable.scan_units`).  The store validates types and NOT
+NULL constraints on insert, enforces primary/unique keys through hash
 indexes, and maintains any secondary indexes declared in the catalog.
 
 Concurrency model (the substrate of :mod:`repro.server` snapshot
@@ -18,6 +25,7 @@ writers commit after them.
 
 from __future__ import annotations
 
+from collections import abc
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from .. import faultinject
@@ -26,6 +34,7 @@ from ..catalog.catalog import IndexDef, TableDef
 from ..catalog.statistics import TableStats, compute_table_stats
 from ..concurrency import TrackedLock, TrackedRLock
 from ..errors import ExecutionError, TransactionConflict
+from .columnar import DEFAULT_CHUNK_ROWS, ColumnStore, ScanUnit
 
 #: Bound on autocommit writer-lock acquisition (seconds).  Generous —
 #: an autocommit insert behind a slow checkpoint should wait, not
@@ -34,20 +43,76 @@ from ..errors import ExecutionError, TransactionConflict
 AUTOCOMMIT_LOCK_TIMEOUT = 30.0
 
 
-class StoredTable:
-    """Rows plus indexes for one table."""
+class RowView(abc.Sequence):
+    """A read-only tuple-sequence façade over a :class:`ColumnStore`.
 
-    def __init__(self, definition: TableDef) -> None:
+    Everything that used to consume ``StoredTable.rows`` as a plain list
+    — engine scans, index rebuilds, checkpoint/WAL codecs, statistics —
+    keeps working: iteration, ``len``, integer indexing, slicing and
+    element-wise equality against lists/tuples all behave like the row
+    list did.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: ColumnStore) -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self._store.iter_rows()
+
+    def __getitem__(self, item):
+        store = self._store
+        if isinstance(item, slice):
+            return [store.row(i)
+                    for i in range(*item.indices(len(store)))]
+        index = item.__index__()
+        if index < 0:
+            index += len(store)
+        if not 0 <= index < len(store):
+            raise IndexError("row index out of range")
+        return store.row(index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (list, tuple, RowView)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"RowView({list(self)!r})"
+
+
+class StoredTable:
+    """Columnar data plus indexes for one table (one version)."""
+
+    def __init__(self, definition: TableDef,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
         self.definition = definition
-        self.rows: list[tuple] = []
+        self._store = ColumnStore(len(definition.columns), chunk_rows)
+        self._row_view = RowView(self._store)
         self._indexes: dict[str, Any] = {}
         self._key_indexes: list[Any] = []
         self._stats_cache: TableStats | None = None
-        self._columns_cache: list[list] | None = None
         from .index import HashIndex  # deferred: keep import graph simple
         for key in definition.all_keys():
             positions = [definition.column_index(name) for name in key]
             self._key_indexes.append(HashIndex(positions))
+
+    @property
+    def rows(self) -> RowView:
+        """The table as a sequence of row tuples (the row façade)."""
+        return self._row_view
 
     # -- mutation ---------------------------------------------------------------
 
@@ -55,14 +120,13 @@ class StoredTable:
         row = self._coerce(values)
         self._check_types(row)
         self._check_keys(row)
-        position = len(self.rows)
-        self.rows.append(row)
+        position = len(self._store)
+        self._store.append(row)
         for index in self._key_indexes:
             index.insert(row, position)
         for index in self._indexes.values():
             index.insert(row, position)
         self._stats_cache = None
-        self._columns_cache = None
         return row
 
     def insert_rows(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
@@ -112,42 +176,51 @@ class StoredTable:
     # -- access -----------------------------------------------------------------
 
     def scan(self) -> Iterator[tuple]:
-        return iter(self.rows)
+        return self._store.iter_rows()
 
     def columns(self) -> list[list]:
-        """The table pivoted to columnar form: one value list per declared
-        column, aligned by row position.
+        """The whole table pivoted to columnar form: one value list per
+        declared column, aligned by row position (fresh lists)."""
+        return self._store.columns()
 
-        The projection is computed lazily and cached; any insert drops the
-        cache.  Callers (the vectorized executor) treat the lists as
-        immutable — chunking slices them, it never mutates them.
-        """
-        if self._columns_cache is None:
-            if self.rows:
-                self._columns_cache = [list(c) for c in zip(*self.rows)]
-            else:
-                self._columns_cache = [[] for _ in self.definition.columns]
-        return self._columns_cache
+    def scan_units(self) -> list[ScanUnit]:
+        """Every storage chunk (sealed + tail) with its zone maps — the
+        vectorized engine's native scan entry point."""
+        return self._store.scan_units()
 
     def column_chunks(self, batch_size: int) -> Iterator[tuple[list[list], int]]:
         """Yield ``(columns, nrows)`` chunks of at most ``batch_size`` rows.
 
-        The last chunk is short; an empty table yields nothing.
+        Chunks follow storage-chunk boundaries: a storage chunk wider
+        than ``batch_size`` is sliced, one that fits is yielded whole
+        (sharing the chunk's cached decoded lists, no copy).  The last
+        piece of each storage chunk may be short; an empty table yields
+        nothing.
         """
         if batch_size < 1:
             raise ExecutionError("batch_size must be at least 1")
-        cols = self.columns()
-        total = len(self.rows)
-        for start in range(0, total, batch_size):
-            stop = min(start + batch_size, total)
-            if stop - start == total:
-                # whole-table chunk: share the cached lists, no copy
+        for unit in self._store.scan_units():
+            cols = unit.columns()
+            total = unit.nrows
+            if total <= batch_size:
                 yield cols, total
-            else:
+                continue
+            for start in range(0, total, batch_size):
+                stop = min(start + batch_size, total)
                 yield [col[start:stop] for col in cols], stop - start
 
+    def seal(self, encodings: Sequence[str] | None = None) -> None:
+        """Seal the mutable tail into an encoded chunk (test hook; the
+        store also seals automatically every ``chunk_rows`` inserts)."""
+        self._store.seal_tail(encodings)
+
+    def force_encodings(self, encodings: Sequence[str]) -> None:
+        """Re-encode every chunk with fixed per-column encodings (test
+        hook for the differential encoding sweep)."""
+        self._store.force_encodings(encodings)
+
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._store)
 
     # -- secondary indexes --------------------------------------------------------
 
@@ -186,19 +259,20 @@ class StoredTable:
     def clone(self) -> "StoredTable":
         """An independent copy-on-write successor of this version.
 
-        The row list and every index are copied, so inserts into the
-        clone are invisible to readers of this version.  Statistics and
-        the columnar cache are shared until the clone's first insert
-        drops them (they describe identical data at clone time).
+        Sealed chunks are shared outright (they are immutable, decode /
+        pivot caches included); only the mutable tail and the indexes
+        are copied, so inserts into the clone are invisible to readers
+        of this version.  Statistics are shared until the clone's first
+        insert drops them (they describe identical data at clone time).
         """
         new = StoredTable.__new__(StoredTable)
         new.definition = self.definition
-        new.rows = list(self.rows)
+        new._store = self._store.clone()
+        new._row_view = RowView(new._store)
         new._indexes = {name: index.clone()
                         for name, index in self._indexes.items()}
         new._key_indexes = [index.clone() for index in self._key_indexes]
         new._stats_cache = self._stats_cache
-        new._columns_cache = self._columns_cache
         return new
 
     # -- statistics ---------------------------------------------------------------
@@ -250,7 +324,8 @@ class Storage:
     and session machinery notice data movement cheaply.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
+        self.chunk_rows = chunk_rows
         self._tables: dict[str, StoredTable] = {}
         self._lock = TrackedRLock("storage.tables")
         # Plain (non-reentrant) locks, deliberately: two transactions
@@ -271,7 +346,7 @@ class Storage:
             if key in self._tables:
                 raise ExecutionError(
                     f"storage for {definition.name!r} exists")
-            table = StoredTable(definition)
+            table = StoredTable(definition, self.chunk_rows)
             self._tables[key] = table
             self._writer_locks.setdefault(
                 key, TrackedLock(f"storage.writer:{key}"))

@@ -72,7 +72,7 @@ class TestSiteRegistry:
         assert INJECTION_SITES == {
             "optimizer.explore", "optimizer.memo", "optimizer.implement",
             "plancache.get", "plancache.put", "executor.open",
-            "executor.open.vectorized",
+            "executor.open.vectorized", "columnar.decode",
             "executor.naive", "analyzer.check", "admission.enqueue",
             "snapshot.install", "wire.decode", "feedback.record",
             "wal.append", "wal.fsync", "wal.checkpoint",

@@ -6,6 +6,8 @@ batch-boundary behavior, error paths, and the engine-specific execution
 decisions that the oracle can only observe indirectly.
 """
 
+import re
+
 import pytest
 
 from repro import Database, DataType, ExecutionError, ResourceExhausted
@@ -197,3 +199,57 @@ class TestOperatorPaths:
         self._agree(self._db(),
                     "select l.id, (select sum(r.w) from r where r.k = l.k)"
                     " from l")
+
+
+class TestMorselDeterminism:
+    """Parallel morsel scans must be invisible: 1 worker vs N workers
+    produce identical rows AND identical EXPLAIN ANALYZE actuals (a
+    skipped or parallel-decoded chunk is still charged to the scan)."""
+
+    QUERIES = (
+        "select t.a, t.b from t",
+        "select t.b, count(*), sum(t.a) from t where t.a > 25"
+        " group by t.b",
+        "select t.a from t where t.b = 3 order by 1",
+        "select count(*) from t where t.a is not null",
+    )
+
+    def loaded(self, morsel_workers) -> Database:
+        db = Database(batch_size=7, chunk_rows=16,
+                      morsel_workers=morsel_workers)
+        db.create_table("t", [("a", DataType.INTEGER, False),
+                              ("b", DataType.INTEGER, True)],
+                        primary_key=("a",))
+        db.insert("t", [(i, i % 5 if i % 7 else None)
+                        for i in range(150)])
+        return db
+
+    @staticmethod
+    def actuals(node, out):
+        # Column ids are globally unique, so strip the #id suffixes to
+        # compare plans across independent Database instances.
+        op = re.sub(r"#\d+", "", node["op"])
+        out.append((op, node["actual_rows"]))
+        for child in node.get("children", ()):
+            TestMorselDeterminism.actuals(child, out)
+        return out
+
+    def test_parallel_scan_matches_serial(self):
+        from repro import FULL
+        serial = self.loaded(1)
+        parallel = self.loaded(8)
+        for sql in self.QUERIES:
+            assert parallel.execute(sql, FULL).rows \
+                == serial.execute(sql, FULL).rows, sql
+            serial_plan = serial.explain(
+                sql, FULL, analyze=True, format="dict",
+                engine="vectorized")
+            parallel_plan = parallel.explain(
+                sql, FULL, analyze=True, format="dict",
+                engine="vectorized")
+            assert self.actuals(parallel_plan["plan"], []) \
+                == self.actuals(serial_plan["plan"], []), sql
+
+    def test_worker_count_is_validated(self):
+        with pytest.raises(ExecutionError):
+            VectorizedExecutor(Database().storage, morsel_workers=0)
