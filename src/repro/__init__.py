@@ -35,6 +35,7 @@ from .errors import (BindError, CatalogError, DurabilityError,
                      SqlSyntaxError, SubqueryReturnedMultipleRows,
                      TransactionConflict, TransactionError)
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
+from .matview import MatViewError
 from .plancache import PlanCache
 # Imported last: the server package itself imports Database, so this
 # keeps the import graph acyclic.
@@ -48,8 +49,8 @@ __all__ = ["BindError", "CORRELATED", "CardinalityCorrection",
            "DataType", "Database", "DurabilityError", "ENGINES",
            "ExecutionError",
            "ExecutionMode", "ExplainOptions", "FeedbackLoop",
-           "FULL", "InjectedFault", "Interval", "MODES", "NAIVE",
-           "NodeFeedback",
+           "FULL", "InjectedFault", "Interval", "MODES", "MatViewError",
+           "NAIVE", "NodeFeedback",
            "OptimizerBudget", "OptimizerBudgetExceeded", "ParameterError",
            "PlanCache", "PlanError", "PlanFeedback",
            "PreparedStatement", "ProtocolError",

@@ -27,6 +27,7 @@ ATTR_TYPES: dict[str, str] = {
     "_pool": "ResourcePool",
     "feedback": "FeedbackLoop",
     "_durability": "DurabilityManager",
+    "matviews": "MatViewManager",
 }
 
 #: (class, method) → class name of the return value.
@@ -55,6 +56,7 @@ PAIR_ITER_LOCKS: dict[str, str] = {
 #: (``for lock in self.locks.values(): lock.release()``).
 CONTAINER_LOCKS: dict[tuple[str, str], str] = {
     ("_Transaction", "locks"): "storage.writer",
+    ("_CommitMaintenance", "locks"): "storage.writer",
 }
 
 #: (class, function) → lock groups the function's contract requires the
@@ -68,6 +70,8 @@ HELD_ON_ENTRY: dict[tuple[str, str], tuple[str, ...]] = {
     ("DurabilityManager", "log_ddl"): ("db.ddl",),
     ("_Transaction", "commit"): ("storage.writer",),
     ("_Transaction", "_release"): ("storage.writer",),
+    ("MatViewManager", "prepare_commit"): ("storage.writer",),
+    ("_CommitMaintenance", "release"): ("storage.writer",),
     ("AdmissionController", "_next_job"): ("admission.queue",),
 }
 

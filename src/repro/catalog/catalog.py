@@ -138,6 +138,13 @@ class Catalog:
         self._tables: dict[str, TableDef] = {}
         self._indexes: dict[str, IndexDef] = {}
         self._views: dict[str, str] = {}  # name -> defining SQL text
+        # Materialized views: name -> definition object (duck-typed —
+        # the catalog stays independent of repro.matview; it only relies
+        # on ``.name``, ``.table`` and ``.sql`` attributes).  The view's
+        # *backing table* is a real TableDef registered in ``_tables``
+        # under the same name, so binding and storage treat it as any
+        # other table.
+        self._matviews: dict[str, object] = {}
         #: Monotonic schema version, bumped by every DDL change.  Cached
         #: plans embed the version they were built against; a mismatch
         #: means the plan may reference stale schema and must be rebuilt.
@@ -160,6 +167,9 @@ class Catalog:
                 raise CatalogError(f"table {table.name!r} already exists")
             if key in self._views:
                 raise CatalogError(f"{table.name!r} already names a view")
+            if key in self._matviews:
+                raise CatalogError(
+                    f"{table.name!r} already names a materialized view")
             self._tables[key] = table
             self.version += 1
             return table
@@ -198,6 +208,9 @@ class Catalog:
                 raise CatalogError(f"view {name!r} already exists")
             if key in self._tables:
                 raise CatalogError(f"{name!r} already names a table")
+            if key in self._matviews:
+                raise CatalogError(
+                    f"{name!r} already names a materialized view")
             self._views[key] = sql
             self.version += 1
 
@@ -216,6 +229,75 @@ class Catalog:
                 raise CatalogError(f"unknown view {name!r}")
             del self._views[name.lower()]
             self.version += 1
+
+    # -- materialized views -----------------------------------------------------
+
+    def create_matview(self, viewdef: object,
+                       backing: TableDef | None = None) -> None:
+        """Register a materialized view definition.
+
+        ``backing`` is the view's backing table schema; when given it is
+        registered into the table namespace under the view's name so the
+        binder and storage treat the view as an ordinary table.  Recovery
+        passes ``backing=None`` when the backing table already arrived via
+        the checkpoint table image.
+        """
+        name = getattr(viewdef, "name")
+        key = name.lower()
+        with self._lock:
+            if key in self._matviews:
+                raise CatalogError(
+                    f"materialized view {name!r} already exists")
+            if key in self._views:
+                raise CatalogError(f"{name!r} already names a view")
+            if backing is not None:
+                if key in self._tables:
+                    raise CatalogError(f"{name!r} already names a table")
+                self._tables[key] = backing
+            elif key not in self._tables:
+                raise CatalogError(
+                    f"materialized view {name!r} has no backing table")
+            self._matviews[key] = viewdef
+            self.version += 1
+
+    def drop_matview(self, name: str) -> None:
+        """Remove a materialized view and its backing table."""
+        key = name.lower()
+        with self._lock:
+            if key not in self._matviews:
+                raise CatalogError(f"unknown materialized view {name!r}")
+            del self._matviews[key]
+            self._tables.pop(key, None)
+            for index_name in [n for n, ix in self._indexes.items()
+                               if ix.table_name.lower() == key]:
+                del self._indexes[index_name]
+            self.version += 1
+
+    def has_matview(self, name: str) -> bool:
+        return name.lower() in self._matviews
+
+    def has_matviews(self) -> bool:
+        """Cheap hot-path probe: any materialized view registered at all?"""
+        return bool(self._matviews)
+
+    def get_matview(self, name: str) -> object:
+        try:
+            return self._matviews[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown materialized view {name!r}") from None
+
+    def matviews(self) -> list[object]:
+        """All materialized-view definitions, in creation order."""
+        with self._lock:
+            return list(self._matviews.values())
+
+    def matviews_on(self, table_name: str) -> list[object]:
+        """Materialized views whose base table is ``table_name``."""
+        key = table_name.lower()
+        with self._lock:
+            return [v for v in self._matviews.values()
+                    if getattr(v, "table") == key]
 
     # -- indexes ---------------------------------------------------------------
 

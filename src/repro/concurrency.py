@@ -116,6 +116,8 @@ HIERARCHY: tuple[LockSpec, ...] = (
                  "version."),
     LockSpec("stats.corrections", 55, hot=True,
              doc="Guards the runtime cardinality-correction store."),
+    LockSpec("matview.stats", 58, hot=True,
+             doc="Materialized-view manager observability counters."),
     LockSpec("plancache.shard", 60, dynamic=True, hot=True,
              doc="One LRU stripe of the plan cache."),
     LockSpec("plancache.stats", 62, hot=True,
@@ -729,7 +731,8 @@ GUARDED_FIELDS: tuple[_FieldGuard, ...] = (
     _FieldGuard("Storage", "_lock",
                 ("_tables", "_writer_locks", "data_version")),
     _FieldGuard("Catalog", "_lock",
-                ("_tables", "_indexes", "_views", "version")),
+                ("_tables", "_indexes", "_views", "_matviews",
+                 "version")),
     _FieldGuard("CorrectionStore", "_lock", ("_entries", "version")),
     _FieldGuard("_Shard", "lock", ("entries",)),
     _FieldGuard("AdmissionController", "_cv",
@@ -745,4 +748,7 @@ GUARDED_FIELDS: tuple[_FieldGuard, ...] = (
                 ("plans_recorded", "corrections_recorded",
                  "plans_invalidated", "dropped")),
     _FieldGuard("ConnectionPool", "_cv", ("_free", "_closed")),
+    _FieldGuard("MatViewManager", "_stats_lock",
+                ("rewrites", "maintained_commits", "refreshes",
+                 "auto_created")),
 )

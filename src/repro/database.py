@@ -45,9 +45,10 @@ from .executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
 from .feedback import (DEFAULT_Q_ERROR_THRESHOLD, FeedbackLoop,
                        render_tree, tree_dict, tree_max_q_error)
 from .governor import OptimizerBudget, QueryStats, ResourceGovernor
+from .matview import MatViewDef, MatViewManager, canonicalize, match_rewrite
 from .physical import PhysicalOp, explain_physical
 from .plancache import CachedPlan, PlanCache, normalize_sql_key
-from .sql import parse, split_explain
+from .sql import MatViewStatement, parse, split_explain, split_matview_ddl
 from .executor.vector_expressions import split_conjuncts
 from .storage import DEFAULT_CHUNK_ROWS, Storage
 from .storage.columnar import compile_zone_filters
@@ -126,6 +127,12 @@ class ExplainOptions:
                 f"of: {', '.join(EXPLAIN_FORMATS)}")
 
 
+#: One DeprecationWarning per process for the positional-costs legacy
+#: form: a hot loop calling ``explain(sql, mode, True)`` used to emit
+#: the identical warning on every call, drowning real warnings.
+_positional_costs_warned = False
+
+
 def _explain_options(deprecated: tuple, options: ExplainOptions | None,
                      analyze: bool, costs: bool,
                      format: str) -> ExplainOptions:
@@ -133,18 +140,21 @@ def _explain_options(deprecated: tuple, options: ExplainOptions | None,
 
     ``deprecated`` captures a legacy *positional* ``costs`` argument
     (the pre-1.4 signature was ``explain(sql, mode, costs)``); passing
-    it still works but warns.  An explicit ``options`` object wins over
-    the individual keywords.
+    it still works but warns (once per process).  An explicit
+    ``options`` object wins over the individual keywords.
     """
+    global _positional_costs_warned
     if deprecated:
         if len(deprecated) > 1 or options is not None:
             raise TypeError(
                 "explain() takes at most one positional option (the "
                 "deprecated costs flag)")
-        warnings.warn(
-            "passing costs positionally to explain() is deprecated; "
-            "use costs=... or options=ExplainOptions(costs=...)",
-            DeprecationWarning, stacklevel=3)
+        if not _positional_costs_warned:
+            _positional_costs_warned = True
+            warnings.warn(
+                "passing costs positionally to explain() is deprecated; "
+                "use costs=... or options=ExplainOptions(costs=...)",
+                DeprecationWarning, stacklevel=3)
         costs = bool(deprecated[0])
     if options is not None:
         return options
@@ -345,7 +355,8 @@ class Database:
                  fsync: bool = True,
                  checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
                  morsel_workers: int = 1,
-                 chunk_rows: int = DEFAULT_CHUNK_ROWS
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 matview_rewrite: bool = True
                  ) -> None:
         if default_engine not in ENGINES:
             raise ValueError(
@@ -381,6 +392,15 @@ class Database:
                                     shards=plan_cache_shards)
         self._sessions_lock = TrackedLock("db.sessions")
         self._open_sessions: set[str] = set()
+        #: Materialized views (repro.matview): lifecycle, transparent
+        #: rewrite and per-commit incremental maintenance.  The storage
+        #: hook makes every transactional install fold its deltas into
+        #: affected view backings within the same snapshot swap.
+        self.matviews = MatViewManager(self)
+        #: Master switch for transparent view rewriting; per-query
+        #: override via ``execute(..., use_matviews=...)``.
+        self.matview_rewrite = matview_rewrite
+        self.storage.matviews = self.matviews
         # -- durability (repro.durability) -----------------------------
         # ``path=None`` (the default) is a purely in-memory database:
         # no file is ever touched and nothing below runs.  With a path,
@@ -501,8 +521,16 @@ class Database:
         self._maybe_checkpoint()
 
     def drop_table(self, name: str) -> None:
-        """Drop a table, its storage and its indexes."""
+        """Drop a table, its storage, its indexes — and cascade-drop any
+        materialized view defined over it (a view whose base is gone can
+        never be maintained or refreshed again)."""
         with self._ddl_lock:
+            if self.catalog.has_matview(name):
+                raise CatalogError(
+                    f"{name!r} is a materialized view; use DROP "
+                    "MATERIALIZED VIEW")
+            for viewdef in self.catalog.matviews_on(name):
+                self.matviews.drop(getattr(viewdef, "name"))
             if self._durability is not None:
                 if not self.catalog.has_table(name):
                     raise CatalogError(f"unknown table {name!r}")
@@ -527,6 +555,10 @@ class Database:
         concurrent snapshot readers never see a partial batch).  On a
         durable database the batch is logged and fsynced before it is
         installed."""
+        if self.catalog.has_matview(table_name):
+            raise CatalogError(
+                f"cannot insert into materialized view {table_name!r}; "
+                "its contents are maintained automatically")
         count = self.storage.apply_insert(table_name, rows)
         self._maybe_checkpoint()
         return count
@@ -600,6 +632,15 @@ class Database:
                 raise RecoveryError(
                     f"replaying WAL record lsn={record.get('lsn')} "
                     f"failed: {exc}") from exc
+        # View contents are derived state: the WAL carries only base
+        # rows, so after the bases are restored every materialized view
+        # is rebuilt from scratch — a crash can never surface a view
+        # inconsistent with its base.
+        try:
+            self.matviews.rebuild_all()
+        except ReproError as exc:
+            raise RecoveryError(
+                f"rebuilding materialized views failed: {exc}") from exc
         self.plan_cache.invalidate()
 
     def _load_checkpoint_image(self, checkpoint: dict) -> None:
@@ -619,6 +660,12 @@ class Database:
                 self.storage.apply_add_index(index.table_name, index)
             for view in image["views"]:
                 self.catalog.create_view(view["name"], view["sql"])
+            for matview in image.get("matviews", []):
+                # The backing table (schema and rows) already arrived
+                # via the table image above; only the definition needs
+                # re-registering.
+                self.catalog.create_matview(
+                    MatViewDef.from_sql(matview["name"], matview["sql"]))
             self.corrections.load_state(checkpoint.get("corrections", []))
         except ReproError as exc:
             raise RecoveryError(
@@ -644,6 +691,16 @@ class Database:
             self.storage.apply_add_index(index.table_name, index)
         elif kind == "create_view":
             self.catalog.create_view(record["name"], record["sql"])
+        elif kind == "create_matview":
+            viewdef = MatViewDef.from_sql(record["name"], record["sql"])
+            base = self.catalog.get_table(viewdef.table)
+            backing = viewdef.backing_def(base)
+            self.catalog.create_matview(viewdef, backing)
+            # Contents are rebuilt wholesale at the end of recovery.
+            self.storage.create(backing)
+        elif kind == "drop_matview":
+            self.catalog.drop_matview(record["name"])
+            self.storage.drop(record["name"])
         elif kind == "drop_view":
             self.catalog.drop_view(record["name"])
         elif kind == "drop_table":
@@ -663,7 +720,8 @@ class Database:
                 optimizer_budget: OptimizerBudget | None = None,
                 governor: ResourceGovernor | None = None,
                 engine: str | None = None,
-                snapshot=None) -> QueryResult:
+                snapshot=None,
+                use_matviews: bool | None = None) -> QueryResult:
         """Execute ``sql``, binding ``params`` to its parameter markers.
 
         Plans are served from :attr:`plan_cache`: re-executing the same
@@ -694,9 +752,21 @@ class Database:
         instead of live storage.  Sessions use this for snapshot
         isolation; plans and the plan cache are unaffected (a plan is
         data-version agnostic).
+
+        ``use_matviews`` overrides the database's
+        :attr:`matview_rewrite` switch for this one statement: ``False``
+        forces the query to run against base tables even when a
+        materialized view matches (``True`` re-enables per query).
+
+        ``CREATE MATERIALIZED VIEW name AS select``, ``DROP MATERIALIZED
+        VIEW name`` and ``REFRESH MATERIALIZED VIEW name`` are routed to
+        :attr:`matviews` and return a one-row status result.
         """
         resolved = self._resolve_mode(mode)
         resolved_engine = self._resolve_engine(engine)
+        matview_stmt = split_matview_ddl(sql)
+        if matview_stmt is not None:
+            return self._execute_matview_ddl(matview_stmt)
         explain_stmt = split_explain(sql)
         if explain_stmt is not None:
             # SQL-level EXPLAIN [ANALYZE]: route through the unified
@@ -719,12 +789,28 @@ class Database:
         started = time.monotonic()
         if gov is not None:
             gov.start()
+        allow_rewrite = (self.matview_rewrite if use_matviews is None
+                         else use_matviews)
         entry = self._cached_plan(sql, resolved, gov,
-                                  engine=resolved_engine)
+                                  engine=resolved_engine,
+                                  allow_rewrite=allow_rewrite)
+        if entry.matview_name is not None and snapshot is not None:
+            # A pinned snapshot may predate the view (or a transaction
+            # may hold staged-but-unmaintained writes): when the backing
+            # table is not resolvable from the snapshot, recompile
+            # against base tables instead of failing mid-execution.
+            try:
+                snapshot.get(entry.matview_name)
+            except ReproError:
+                entry = self._cached_plan(sql, resolved, gov,
+                                          engine=resolved_engine,
+                                          allow_rewrite=False)
+        if entry.matview_name is not None:
+            self.matviews.note_rewrite()
         values = bind_parameters(entry.parameters, params)
         degraded = entry.degraded
         reason = entry.fallback_reason
-        profile: dict[int, int] | None = (
+        profile: dict[Any, int] | None = (
             {} if self.feedback_enabled and entry.plan is not None
             else None)
         try:
@@ -748,10 +834,23 @@ class Database:
         return QueryResult(list(entry.names), rows, entry.types,
                            degraded=degraded, stats=stats)
 
+    def _execute_matview_ddl(self,
+                             statement: MatViewStatement) -> QueryResult:
+        if statement.kind == "create":
+            self.matviews.create(statement.name, statement.sql)
+            message = f"created materialized view {statement.name}"
+        elif statement.kind == "drop":
+            self.matviews.drop(statement.name)
+            message = f"dropped materialized view {statement.name}"
+        else:
+            self.matviews.refresh(statement.name)
+            message = f"refreshed materialized view {statement.name}"
+        return QueryResult(["status"], [(message,)], [DataType.VARCHAR])
+
     def _run_entry(self, entry: CachedPlan, values: tuple,
                    gov: ResourceGovernor | None,
                    snapshot=None,
-                   profile: dict[int, int] | None = None) -> list[tuple]:
+                   profile: dict[Any, int] | None = None) -> list[tuple]:
         if entry.executable is None:
             # Naive mode, or a degraded entry whose fallback plan could
             # not be built: interpret the bound logical tree directly.
@@ -767,7 +866,7 @@ class Database:
     def _run_naive(self, rel: RelationalOp, values: tuple,
                    gov: ResourceGovernor | None,
                    snapshot=None,
-                   profile: dict[int, int] | None = None) -> list[tuple]:
+                   profile: dict[Any, int] | None = None) -> list[tuple]:
         source = snapshot if snapshot is not None else self.storage
         interpreter = NaiveInterpreter(
             lambda name: source.get(name).rows, governor=gov,
@@ -832,7 +931,8 @@ class Database:
 
     def _cached_plan(self, sql: str, mode: ExecutionMode,
                      gov: ResourceGovernor | None = None,
-                     engine: str = "tuple") -> CachedPlan:
+                     engine: str = "tuple",
+                     allow_rewrite: bool = True) -> CachedPlan:
         """The compiled form of ``sql``, from cache or built fresh.
 
         Fault-tolerant: a failing plan-cache lookup is a cache miss, a
@@ -840,20 +940,39 @@ class Database:
         degrades to a fallback plan (see :meth:`_degraded_plan`).
         Degraded entries are returned but never admitted to the cache, so
         one optimizer hiccup cannot pin a bad plan for future queries.
+
+        Rewrite-enabled and rewrite-disabled compilations of the same
+        text cache under distinct mode keys (``"<mode>"`` vs
+        ``"<mode>#raw"``): a ``use_matviews=False`` execution must never
+        be served a view-scanning plan.  The key depends only on what
+        the caller *requested* — never on whether views currently exist,
+        which a concurrent DROP/CREATE cycle can flip between sampling
+        it and consulting the cache; keying on that racy state once let
+        a raw lookup land on a rewritten entry.  Only ``#raw`` entries
+        are guaranteed view-free, so the snapshot-guard recompile in
+        :meth:`execute` relies on exactly that invariant.
         """
         sql_key = normalize_sql_key(sql)
+        requested = allow_rewrite and self.matview_rewrite
+        rewriting = requested and self.catalog.has_matviews()
+        mode_key = mode.name
+        if not requested:
+            mode_key += "#raw"
         try:
-            entry = self.plan_cache.get(sql_key, mode.name,
+            entry = self.plan_cache.get(sql_key, mode_key,
                                         self.catalog.version, engine)
         except InjectedFault:
             entry = None
         if entry is not None:
             return entry
-        bound = self._binder.bind(parse(sql))
+        bound, fingerprint, matview_name, rewritten_sql = \
+            self._bind_with_rewrite(sql, rewriting)
         table_names = frozenset(
             get.table_name.lower()
             for get in collect_nodes(bound.rel,
                                      lambda n: isinstance(n, Get)))
+        if fingerprint is not None:
+            table_names |= {fingerprint.table}
         degraded = False
         reason: str | None = None
         if mode.use_naive_interpreter:
@@ -881,7 +1000,7 @@ class Database:
                                                        engine)
         entry = CachedPlan(
             sql_key=sql_key,
-            mode_name=mode.name,
+            mode_name=mode_key,
             catalog_version=self.catalog.version,
             engine=engine,
             names=list(bound.names),
@@ -893,13 +1012,63 @@ class Database:
             snapshot=self.plan_cache.capture_snapshot(table_names),
             table_names=table_names,
             degraded=degraded,
-            fallback_reason=reason)
+            fallback_reason=reason,
+            matview_name=matview_name,
+            rewritten_sql=rewritten_sql,
+            fingerprint=fingerprint)
         if not degraded:
             try:
                 self.plan_cache.put(entry)
             except InjectedFault:
                 pass  # uncached, but the compiled entry is still good
         return entry
+
+    def _bind_with_rewrite(self, sql: str, rewriting: bool):
+        """Bind ``sql``; when rewriting, try to substitute a matching
+        materialized view.
+
+        Returns ``(bound, fingerprint, matview_name, rewritten_sql)``.
+        The substitution is accepted only when the rewritten query binds
+        to the *identical* output schema and parameter list — any
+        discrepancy falls back to the original binding, so the rewrite
+        can degrade silently but never change results.
+        """
+        parsed = parse(sql)
+        bound = self._binder.bind(parsed)
+        fingerprint = canonicalize(parsed)
+        if (not rewriting or fingerprint is None
+                or not fingerprint.aggregates):
+            return bound, fingerprint, None, None
+        candidate = self._rewrite_candidate(fingerprint)
+        if candidate is None:
+            return bound, fingerprint, None, None
+        view_name, rewritten = candidate
+        try:
+            rebound = self._binder.bind(parse(rewritten))
+        except ReproError:
+            return bound, fingerprint, None, None
+        if (list(rebound.names) != list(bound.names)
+                or rebound.column_types != bound.column_types
+                or rebound.parameters != bound.parameters):
+            return bound, fingerprint, None, None
+        return rebound, fingerprint, view_name, rewritten
+
+    def _rewrite_candidate(self, fingerprint):
+        """The smallest registered view answering ``fingerprint``, as
+        ``(view name, rewritten SQL)``; ``None`` when nothing matches."""
+        best = None
+        for viewdef in self.catalog.matviews():
+            if not isinstance(viewdef, MatViewDef):
+                continue
+            rewritten = match_rewrite(fingerprint, viewdef)
+            if rewritten is None:
+                continue
+            size = self._row_count(viewdef.name)
+            if best is None or size < best[2]:
+                best = (viewdef.name, rewritten, size)
+        if best is None:
+            return None
+        return best[0], best[1]
 
     def _degraded_plan(self, mode: ExecutionMode, normalized: RelationalOp,
                        engine: str = "tuple"
@@ -969,7 +1138,8 @@ class Database:
             return self._explain_analyze(sql, mode, resolved,
                                          self._resolve_engine(engine),
                                          params)
-        bound = self._binder.bind(parse(sql))
+        bound, _, matview_name, rewritten_sql = self._bind_with_rewrite(
+            sql, self.matview_rewrite and self.catalog.has_matviews())
         normalized = normalize(bound.rel, mode.normalize_config)
         costed = None
         plan = None
@@ -988,8 +1158,16 @@ class Database:
                                   else normalized)}
             if costed is not None:
                 payload["cost"] = costed.cost
+            if matview_name is not None:
+                payload["matview"] = {"view": matview_name,
+                                      "sql": rewritten_sql}
             return payload
-        sections = ["-- logical (normalized) --", explain(normalized)]
+        sections = []
+        if matview_name is not None:
+            sections += ["-- materialized view --",
+                         f"rewritten to scan {matview_name}:",
+                         str(rewritten_sql)]
+        sections += ["-- logical (normalized) --", explain(normalized)]
         if plan is not None:
             sections += ["-- physical --", explain_physical(plan)]
         if costed is not None:
@@ -1019,7 +1197,7 @@ class Database:
         """
         entry = self._cached_plan(sql, mode, engine=engine)
         values = bind_parameters(entry.parameters, params)
-        profile: dict[int, int] = {}
+        profile: dict[Any, int] = {}
         started = time.monotonic()
         rows = self._run_entry(entry, values, None, None, profile)
         elapsed = time.monotonic() - started
@@ -1034,14 +1212,23 @@ class Database:
                              self._logical_estimates(entry.rel))
         stats.max_q_error = tree_max_q_error(tree)
         if options.format == "dict":
-            return {"sql": sql, "mode": mode.name, "engine": entry.engine,
-                    "analyze": True, "plan": tree, "row_count": len(rows),
-                    "stats": stats.as_dict()}
+            payload = {"sql": sql, "mode": mode.name,
+                       "engine": entry.engine, "analyze": True,
+                       "plan": tree, "row_count": len(rows),
+                       "stats": stats.as_dict()}
+            if entry.matview_name is not None:
+                payload["matview"] = {"view": entry.matview_name,
+                                      "sql": entry.rewritten_sql}
+            return payload
         header = ("-- physical (analyze) --" if entry.plan is not None
                   else "-- logical (analyze) --")
         sections = [header, render_tree(tree), "-- execution --",
                     f"rows: {len(rows)}",
                     f"elapsed: {elapsed:.6f}s"]
+        if entry.matview_name is not None:
+            sections = ["-- materialized view --",
+                        f"rewritten to scan {entry.matview_name}:",
+                        str(entry.rewritten_sql)] + sections
         if stats.max_q_error is not None:
             sections.append(f"max q-error: {stats.max_q_error:.2f}")
         return "\n".join(sections)

@@ -51,6 +51,11 @@ def build_payload(catalog, snapshot, corrections, last_lsn: int) -> dict:
             "indexes": [index_def_to_dict(ix) for ix in catalog.indexes()],
             "views": [{"name": name, "sql": sql}
                       for name, sql in catalog.views()],
+            # Loaders use .get("matviews", []): pre-matview checkpoints
+            # stay readable without a format bump.  Backing *rows* ride
+            # in the table image; only definitions are recorded here.
+            "matviews": [{"name": view.name, "sql": view.sql}
+                         for view in catalog.matviews()],
         },
         "rows": {name: [encode_row(row)
                         for row in snapshot.get(name).rows]

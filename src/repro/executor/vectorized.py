@@ -286,12 +286,13 @@ class VectorizedExecutor:
         workers = self._morsel_workers
 
         def process_unit(unit: ScanUnit, params
-                         ) -> list[tuple[int, Optional[Batch]]]:
+                         ) -> tuple[list[tuple[int, Optional[Batch]]], bool]:
             """Decode and filter one storage chunk.  Returns the ordered
-            (rows_charged, surviving_batch_or_None) steps — pure, so it
+            (rows_charged, surviving_batch_or_None) steps plus whether
+            the chunk was zone-map pruned without decoding — pure, so it
             may run on a morsel helper thread."""
             if prunes and any(fn(unit.zones, params) for fn in prunes):
-                return [(unit.nrows, None)]
+                return [(unit.nrows, None)], True
             cols = unit.columns()
             total = unit.nrows
             steps: list[tuple[int, Optional[Batch]]] = []
@@ -312,7 +313,7 @@ class VectorizedExecutor:
                         break
                     batch = take_batch(batch, keep)
                 steps.append((nrows, batch))
-            return steps
+            return steps, False
 
         def batches(ctx: ExecutionContext) -> Iterator[Batch]:
             table = ctx.storage.get(name)
@@ -321,16 +322,19 @@ class VectorizedExecutor:
             profile = ctx.profile if fused else None
             params = ctx.params
             scanned = 0
+            skipped = 0
             try:
                 if workers > 1 and len(units) > 1:
-                    per_unit: Iterator[list] = run_morsels(
+                    per_unit: Iterator[tuple] = run_morsels(
                         len(units),
                         lambda i: process_unit(units[i], params),
                         workers - 1)
                 else:
                     per_unit = (process_unit(unit, params)
                                 for unit in units)
-                for steps in per_unit:
+                for steps, pruned in per_unit:
+                    if pruned:
+                        skipped += 1
                     for charged, batch in steps:
                         if governor is not None:
                             governor.consume_rows(charged)
@@ -340,6 +344,12 @@ class VectorizedExecutor:
             finally:
                 if profile is not None:
                     profile[scan_key] = profile.get(scan_key, 0) + scanned
+                    if skipped:
+                        # Keyed off-row so the frozen per-node wire stats
+                        # stay untouched when nothing was skipped.
+                        skip_key = ("chunks_skipped", scan_key)
+                        profile[skip_key] = (profile.get(skip_key, 0)
+                                             + skipped)
         return batches
 
     def _prepare_PIndexSeek(self, plan: PIndexSeek) -> _VecExecutable:

@@ -50,6 +50,10 @@ INJECTION_SITES = frozenset({
     "wal.checkpoint",       # per checkpoint, before the atomic rename
                             # publishes it (old checkpoint + log intact)
     "recovery.replay",      # per WAL record applied during recovery
+    "matview.refresh",      # per materialized-view content mutation
+                            # (create/refresh recompute and per-view
+                            # commit maintenance), before any view state
+                            # changes
 })
 
 

@@ -73,7 +73,7 @@ class PlanFeedback:
     max_q_error: float
 
 
-def collect(plan: Any, profile: Dict[int, int]) -> PlanFeedback:
+def collect(plan: Any, profile: Dict[Any, int]) -> PlanFeedback:
     """Join a plan tree against an execution profile.
 
     Works on physical plans (``estimated_rows`` attribute) and, with
@@ -100,7 +100,7 @@ def collect(plan: Any, profile: Dict[int, int]) -> PlanFeedback:
     return PlanFeedback(tuple(nodes), worst)
 
 
-def tree_dict(node: Any, profile: Optional[Dict[int, int]] = None,
+def tree_dict(node: Any, profile: Optional[Dict[Any, int]] = None,
               estimates: Optional[Dict[int, float]] = None) -> dict:
     """The EXPLAIN [ANALYZE] tree as nested dicts with frozen keys.
 
@@ -110,6 +110,10 @@ def tree_dict(node: Any, profile: Optional[Dict[int, int]] = None,
     Estimates come from the node's own ``estimated_rows`` when present
     (physical plans) or from the ``estimates`` side table keyed by node
     identity (logical trees, whose nodes carry no estimate attribute).
+
+    A scan node that zone-map-pruned chunks additionally carries
+    ``chunks_skipped``; the key is emitted only when at least one chunk
+    was skipped so the frozen key set above stays exact everywhere else.
     """
     estimated = getattr(node, "estimated_rows", None)
     if estimated is None and estimates is not None:
@@ -118,12 +122,17 @@ def tree_dict(node: Any, profile: Optional[Dict[int, int]] = None,
     q: Optional[float] = None
     if estimated is not None and actual is not None:
         q = q_error(estimated, actual)
-    return {"op": node.label(),
-            "estimated_rows": estimated,
-            "actual_rows": actual,
-            "q_error": q,
-            "children": [tree_dict(child, profile, estimates)
-                         for child in node.children]}
+    out = {"op": node.label(),
+           "estimated_rows": estimated,
+           "actual_rows": actual,
+           "q_error": q,
+           "children": [tree_dict(child, profile, estimates)
+                        for child in node.children]}
+    if profile is not None:
+        skipped = profile.get(("chunks_skipped", id(node)))
+        if skipped:
+            out["chunks_skipped"] = skipped
+    return out
 
 
 def render_tree(tree: dict) -> str:
@@ -139,6 +148,8 @@ def render_tree(tree: dict) -> str:
             notes.append(f"actual={node['actual_rows']}")
         if node["q_error"] is not None:
             notes.append(f"q={node['q_error']:.2f}")
+        if node.get("chunks_skipped") is not None:
+            notes.append(f"skipped={node['chunks_skipped']}")
         suffix = f"  ({' '.join(notes)})" if notes else ""
         lines.append("  " * depth + node["op"] + suffix)
         for child in node["children"]:
@@ -203,7 +214,7 @@ class FeedbackLoop:
         self.dropped = 0
 
     def record(self, entry: Any,
-               profile: Dict[int, int]) -> Optional[PlanFeedback]:
+               profile: Dict[Any, int]) -> Optional[PlanFeedback]:
         """Fold one execution's profile back into the optimizer's world.
 
         ``entry`` is the executed :class:`~repro.plancache.CachedPlan`.

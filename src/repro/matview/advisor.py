@@ -1,0 +1,133 @@
+"""Workload-driven view selection: mine the plan cache for hot aggregates.
+
+The plan cache already fingerprints every canonical aggregate query it
+compiles (:attr:`~repro.plancache.CachedPlan.fingerprint`) and counts
+hits per entry, so the advisor needs no separate workload log: it walks
+the cached entries, keeps the hot aggregate ones that no existing view
+answers, and generalizes each fingerprint into a view definition:
+
+* parameter-free conjuncts become the view's WHERE (rows the view can
+  pre-filter for good);
+* parameterized conjuncts cannot be baked in — their columns join the
+  view's GROUP BY instead, so the rewrite re-applies them as residual
+  filters over backing rows;
+* the aggregate set is carried as-is (counts ride along automatically,
+  see :mod:`repro.matview.definition`).
+
+``recommend`` returns suggestions; ``auto_materialize`` creates them
+through the normal CREATE path (WAL-logged, checkpointed, maintained).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .canonical import (CanonicalAggregate, emit_expr, expr_columns,
+                        expr_has_parameter, quote)
+from .definition import MatViewDef, MatViewError
+from .manager import Recommendation
+from .matcher import match_rewrite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..database import Database
+
+#: An entry must have served at least this many cache hits before the
+#: advisor considers its shape worth materializing.
+DEFAULT_MIN_HITS = 3
+
+
+def recommend(database: "Database",
+              min_hits: int = DEFAULT_MIN_HITS) -> list[Recommendation]:
+    """Hot aggregate shapes from the plan cache, most-hit first."""
+    views = [v for v in database.catalog.matviews()
+             if isinstance(v, MatViewDef)]
+    best: dict[tuple, Recommendation] = {}
+    for entry in database.plan_cache.entries():
+        fingerprint = entry.fingerprint
+        if not isinstance(fingerprint, CanonicalAggregate):
+            continue
+        if entry.matview_name is not None or entry.hits < min_hits:
+            continue
+        if not fingerprint.aggregates:
+            continue
+        if any(match_rewrite(fingerprint, view) is not None
+               for view in views):
+            continue  # an existing view already answers it
+        sql = _view_sql(fingerprint)
+        if sql is None:
+            continue
+        key = (fingerprint.table, sql)
+        seen = best.get(key)
+        if seen is None:
+            best[key] = Recommendation(name="", table=fingerprint.table,
+                                       sql=sql, hits=entry.hits)
+        else:
+            seen.hits = max(seen.hits, entry.hits)
+    ranked = sorted(best.values(), key=lambda r: -r.hits)
+    taken: set[str] = set()
+    for suggestion in ranked:
+        suggestion.name = _unique_name(database, taken)
+        taken.add(suggestion.name)
+    return ranked
+
+
+def auto_materialize(database: "Database",
+                     min_hits: int = DEFAULT_MIN_HITS
+                     ) -> list[Recommendation]:
+    """Create every current recommendation; returns what was created."""
+    created = []
+    for suggestion in recommend(database, min_hits=min_hits):
+        try:
+            database.matviews.create(suggestion.name, suggestion.sql)
+        except MatViewError:
+            continue  # e.g. an unsummable dtype the fingerprint allowed
+        database.matviews.note_auto_created()
+        created.append(suggestion)
+    return created
+
+
+def _view_sql(fingerprint: CanonicalAggregate) -> str | None:
+    """Generalize a query fingerprint into a defining SELECT."""
+    group_cols = list(fingerprint.group_cols)
+    stored_conjuncts = []
+    for conjunct in fingerprint.conjuncts:
+        if expr_has_parameter(conjunct):
+            # Cannot bake a parameter into stored contents: group by the
+            # predicate's columns so the rewrite can re-filter.
+            for column in sorted(expr_columns(conjunct)):
+                if column not in group_cols:
+                    group_cols.append(column)
+        else:
+            stored_conjuncts.append(conjunct)
+    if not group_cols:
+        return None  # a global aggregate has no grouping to store
+    items = [quote(col) for col in group_cols]
+    seen = set()
+    for spec in fingerprint.aggregates:
+        if spec in seen:
+            continue
+        seen.add(spec)
+        if spec.func == "count_star":
+            items.append("count(*)")
+        else:
+            assert spec.column is not None
+            items.append(f"{spec.func}({quote(spec.column)}) AS "
+                         + quote(f"{spec.func}_{spec.column}"))
+    sql = f'SELECT {", ".join(items)} FROM {quote(fingerprint.table)}'
+    if stored_conjuncts:
+        sql += " WHERE " + " AND ".join(
+            emit_expr(c) for c in stored_conjuncts)
+    sql += " GROUP BY " + ", ".join(quote(c) for c in group_cols)
+    return sql
+
+
+def _unique_name(database: "Database", taken: set[str]) -> str:
+    catalog = database.catalog
+    index = 1
+    while True:
+        name = f"mv_auto_{index}"
+        if (name not in taken and not catalog.has_table(name)
+                and not catalog.has_view(name)
+                and not catalog.has_matview(name)):
+            return name
+        index += 1

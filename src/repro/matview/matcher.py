@@ -1,0 +1,139 @@
+"""View matching and query rewrite (Cohen/Goldstein–Larson style).
+
+Given a query's :class:`~repro.matview.canonical.CanonicalAggregate` and
+a registered view, decide whether the view's backing table can answer
+the query, and if so emit the rewritten SQL.  The containment tests:
+
+* same base table;
+* the view's WHERE conjuncts are a sub-multiset of the query's (the view
+  keeps *at most* the rows the query filters to);
+* every *residual* query conjunct (query minus view) references only
+  view group columns, so it can be re-applied over backing rows;
+* the query's GROUP BY is a subset of the view's (equal or *coarser*
+  grouping);
+* every query aggregate is derivable from the stored partials.
+
+The rewrite uniformly re-aggregates in the paper's §3.3 global form —
+``count(*)`` → ``sum(cnt_star)``, ``count(c)`` → ``sum(cnt_c)``,
+``sum(c)`` → ``sum(sum_c)``, ``avg(c)`` → ``sum(sum_c) / sum(cnt_c)``,
+``min``/``max`` → ``min(min_c)``/``max(max_c)`` — which is exactly why
+the backing table carries count columns alongside sums.  One edge needs
+care: a global (no GROUP BY) ``COUNT`` over an empty input is ``0``,
+but ``SUM`` over the empty backing table is NULL, so count rewrites are
+CASE-wrapped when the query has no GROUP BY.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from ..sql import ast
+from .canonical import (AggSpec, CanonicalAggregate, emit_expr,
+                        expr_columns, quote)
+from .definition import MatViewDef
+
+
+def match_rewrite(fingerprint: CanonicalAggregate,
+                  viewdef: MatViewDef) -> Optional[str]:
+    """Rewritten SQL answering ``fingerprint`` from ``viewdef``, or
+    ``None`` when the view does not subsume the query."""
+    if fingerprint.table != viewdef.table:
+        return None
+    residual = _residual_conjuncts(fingerprint.conjuncts,
+                                   viewdef.conjuncts)
+    if residual is None:
+        return None
+    view_group = set(viewdef.group_cols)
+    for conjunct in residual:
+        if not expr_columns(conjunct) <= view_group:
+            return None
+    if not set(fingerprint.group_cols) <= view_group:
+        return None
+    for output in fingerprint.outputs:
+        if isinstance(output, AggSpec):
+            if not viewdef.supports(output.func, output.column):
+                return None
+    return _emit(fingerprint, viewdef, residual)
+
+
+def _residual_conjuncts(
+        query_conjuncts: tuple[ast.Expr, ...],
+        view_conjuncts: tuple[ast.Expr, ...],
+) -> Optional[list[ast.Expr]]:
+    """Query conjuncts left over after consuming the view's, in query
+    order; ``None`` if some view conjunct is missing from the query.
+
+    Multiset semantics via :class:`collections.Counter` — canonical AST
+    nodes are frozen dataclasses, hence hashable and structurally
+    comparable.
+    """
+    needed = Counter(view_conjuncts)
+    if needed - Counter(query_conjuncts):
+        return None
+    residual = []
+    for conjunct in query_conjuncts:
+        if needed.get(conjunct, 0) > 0:
+            needed[conjunct] -= 1
+        else:
+            residual.append(conjunct)
+    return residual
+
+
+def _emit(fingerprint: CanonicalAggregate, viewdef: MatViewDef,
+          residual: list[ast.Expr]) -> str:
+    items = []
+    for output, name in zip(fingerprint.outputs, fingerprint.names):
+        if isinstance(output, AggSpec):
+            expr = _aggregate_expr(output,
+                                   bool(fingerprint.group_cols))
+        else:
+            expr = quote(output)
+        items.append(f"{expr} AS {quote(name)}")
+    sql = f'SELECT {", ".join(items)} FROM {quote(viewdef.name)}'
+    if residual:
+        sql += " WHERE " + " AND ".join(emit_expr(c) for c in residual)
+    if fingerprint.group_cols:
+        sql += " GROUP BY " + ", ".join(
+            quote(c) for c in fingerprint.group_cols)
+    if fingerprint.order_by:
+        parts = [quote(fingerprint.names[position])
+                 + ("" if ascending else " DESC")
+                 for position, ascending in fingerprint.order_by]
+        sql += " ORDER BY " + ", ".join(parts)
+    if fingerprint.limit is not None:
+        sql += f" LIMIT {fingerprint.limit}"
+    return sql
+
+
+def _aggregate_expr(spec: AggSpec, grouped: bool) -> str:
+    if spec.func == "count_star":
+        return _count_sum("cnt_star", grouped)
+    assert spec.column is not None
+    if spec.func == "count":
+        return _count_sum(f"cnt_{spec.column}", grouped)
+    if spec.func == "sum":
+        return f'sum({quote(f"sum_{spec.column}")})'
+    if spec.func == "avg":
+        return (f'1.0 * sum({quote(f"sum_{spec.column}")}) / '
+                f'sum({quote(f"cnt_{spec.column}")})')
+    if spec.func == "min":
+        return f'min({quote(f"min_{spec.column}")})'
+    if spec.func == "max":
+        return f'max({quote(f"max_{spec.column}")})'
+    raise AssertionError(spec.func)
+
+
+def _count_sum(backing_column: str, grouped: bool) -> str:
+    """``sum`` over a stored count column.
+
+    With GROUP BY, empty groups do not exist (each backing row holds
+    ``cnt >= 0`` and a group only exists if some base row produced it).
+    Without GROUP BY, the backing table may contribute *no* rows at all
+    (empty base or residual filtering everything), where SQL requires
+    ``COUNT = 0`` while ``SUM`` yields NULL — hence the CASE wrap.
+    """
+    total = f"sum({quote(backing_column)})"
+    if grouped:
+        return total
+    return f"CASE WHEN {total} IS NULL THEN 0 ELSE {total} END"

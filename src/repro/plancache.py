@@ -86,6 +86,19 @@ class CachedPlan:
     #: executable, so executions already holding the entry are
     #: unaffected (plans are immutable once built).
     feedback_stale: bool = False
+    #: Cache hits served for this entry, incremented under the owning
+    #: shard's lock.  The materialized-view advisor mines this as its
+    #: query-frequency signal (repro.matview.advisor).
+    hits: int = 0
+    #: When the plan was transparently rewritten to scan a materialized
+    #: view: the view's name and the rewritten SQL it was compiled from
+    #: (both ``None`` for unrewritten plans).  Surfaced by EXPLAIN.
+    matview_name: str | None = None
+    rewritten_sql: str | None = None
+    #: The query's canonical aggregate fingerprint
+    #: (:class:`repro.matview.canonical.CanonicalAggregate`) when it has
+    #: one — the advisor's matching signal; ``None`` otherwise.
+    fingerprint: Any = None
 
     @property
     def key(self) -> tuple:
@@ -231,6 +244,7 @@ class PlanCache:
         with shard.lock:
             if key in shard.entries:
                 shard.entries.move_to_end(key)
+                entry.hits += 1
         self._bump("hits")
         return entry
 

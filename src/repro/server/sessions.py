@@ -246,16 +246,28 @@ class Session:
                 row_budget: int | None = None,
                 memory_budget: int | None = None,
                 optimizer_budget: OptimizerBudget | None = None,
-                governor: ResourceGovernor | None = None):
+                governor: ResourceGovernor | None = None,
+                use_matviews: bool | None = None):
         """Execute ``sql`` against this session's current read view.
 
         Inside a transaction the view is the pinned snapshot plus the
         transaction's own staged writes; outside, a fresh snapshot is
         pinned per statement (statement-level read consistency).
+
+        While a transaction holds staged writes, materialized-view
+        rewriting is disabled for its statements regardless of
+        ``use_matviews``: view backings are only maintained at commit,
+        so a rewritten plan could not see the transaction's own
+        uncommitted rows (read-your-own-writes).
         """
         self._check_open()
+        from ..sql import split_matview_ddl  # deferred: avoid cycle
+        if split_matview_ddl(sql) is not None:
+            self._no_ddl_in_txn()
         if self._txn is not None:
             snapshot = self._txn.view()
+            if self._txn.pending:
+                use_matviews = False
         else:
             snapshot = self._db.storage.snapshot()
         result = self._db.execute(
@@ -264,7 +276,7 @@ class Session:
             timeout=timeout, row_budget=row_budget,
             memory_budget=memory_budget,
             optimizer_budget=optimizer_budget, governor=governor,
-            snapshot=snapshot)
+            snapshot=snapshot, use_matviews=use_matviews)
         self.stats.queries += 1
         self.stats.rows_returned += len(result.rows)
         self.stats.elapsed_seconds += result.stats.elapsed_seconds
@@ -277,6 +289,11 @@ class Session:
         """Insert rows: staged when a transaction is open (visible only
         to this session until commit), an atomic autocommit otherwise."""
         self._check_open()
+        if self._db.catalog.has_matview(table_name):
+            from ..errors import CatalogError  # deferred: avoid cycle
+            raise CatalogError(
+                f"cannot insert into materialized view {table_name!r}; "
+                "its contents are maintained automatically")
         if self._txn is not None:
             try:
                 count = self._txn.stage_insert(table_name, rows)

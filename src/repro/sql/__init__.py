@@ -35,8 +35,9 @@ variant substitutes ``c_nationkey``), correlated/lateral derived tables.
 
 from . import ast
 from .lexer import Token, TokenType, tokenize
-from .parser import (ExplainStatement, parse, parse_statement,
-                     split_explain)
+from .parser import (ExplainStatement, MatViewStatement, parse,
+                     parse_statement, split_explain, split_matview_ddl)
 
-__all__ = ["ExplainStatement", "Token", "TokenType", "ast", "parse",
-           "parse_statement", "split_explain", "tokenize"]
+__all__ = ["ExplainStatement", "MatViewStatement", "Token", "TokenType",
+           "ast", "parse", "parse_statement", "split_explain",
+           "split_matview_ddl", "tokenize"]

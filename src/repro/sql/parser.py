@@ -92,6 +92,78 @@ def split_explain(sql: str) -> Optional[tuple[str, bool]]:
     return sql[_token_offset(sql, rest):], analyze
 
 
+@dataclass(frozen=True)
+class MatViewStatement:
+    """One materialized-view DDL statement.
+
+    ``kind`` is ``"create"`` (``CREATE MATERIALIZED VIEW name AS
+    <query>``), ``"drop"`` or ``"refresh"``; ``sql`` carries the
+    defining query's original text for ``create`` (layout preserved,
+    like :func:`split_explain`) and is empty otherwise.
+    """
+
+    kind: str
+    name: str
+    sql: str = ""
+
+
+def split_matview_ddl(sql: str) -> Optional[MatViewStatement]:
+    """Recognize ``CREATE | DROP | REFRESH MATERIALIZED VIEW`` statements.
+
+    Returns ``None`` for anything else — including unlexable text and
+    statements starting with a line comment, so ordinary queries always
+    take the normal parse path and report their own syntax errors.
+    ``CREATE``/``MATERIALIZED``/``VIEW`` are not reserved words (they lex
+    as identifiers), which keeps them usable as column names everywhere
+    else.
+    """
+    head = sql.lstrip()[:8].lower()
+    if not (head.startswith("create") or head.startswith("drop")
+            or head.startswith("refresh")):
+        return None
+    try:
+        tokens = tokenize(sql)
+    except SqlSyntaxError:
+        return None
+
+    def word(index: int, text: str) -> bool:
+        token = tokens[min(index, len(tokens) - 1)]
+        return token.type is TokenType.IDENT and token.value == text
+
+    if word(0, "create"):
+        kind = "create"
+    elif word(0, "drop"):
+        kind = "drop"
+    elif word(0, "refresh"):
+        kind = "refresh"
+    else:
+        return None
+    if not (word(1, "materialized") and word(2, "view")):
+        return None
+    name_token = tokens[min(3, len(tokens) - 1)]
+    if name_token.type is not TokenType.IDENT:
+        raise SqlSyntaxError("expected a view name after MATERIALIZED "
+                             "VIEW", name_token.line, name_token.column)
+    name = name_token.value
+    if kind in ("drop", "refresh"):
+        trailing = tokens[4]
+        if trailing.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected input after the view name: "
+                f"{trailing.value!r}", trailing.line, trailing.column)
+        return MatViewStatement(kind, name)
+    as_token = tokens[4]
+    if not as_token.matches_keyword("as"):
+        raise SqlSyntaxError("expected AS after the view name",
+                             as_token.line, as_token.column)
+    rest = tokens[5]
+    if rest.type is TokenType.EOF:
+        raise SqlSyntaxError("expected a query after AS",
+                             rest.line, rest.column)
+    return MatViewStatement("create", name,
+                            sql[_token_offset(sql, rest):])
+
+
 def _token_offset(sql: str, token: Token) -> int:
     """Absolute character offset of ``token`` in ``sql`` (tokens carry
     1-based line/column positions)."""

@@ -339,6 +339,13 @@ class Storage:
         #: default — keeps the store purely in-memory; nothing else in
         #: this module changes behavior.
         self.wal = None
+        #: Materialized-view maintenance hook (duck-typed
+        #: ``prepare_commit``), set by :class:`~repro.database.Database`.
+        #: Commits that insert into a view's base table fold the delta
+        #: into the view backing *inside the same install*, so readers
+        #: never observe a base/view mismatch.  ``None`` disables
+        #: maintenance entirely.
+        self.matviews = None
 
     def create(self, definition: TableDef) -> StoredTable:
         key = definition.name.lower()
@@ -414,22 +421,39 @@ class Storage:
         install (WAL-before-install): a commit whose log write fails
         installs nothing, and a crash between log and install replays
         the commit at recovery.
+
+        When a materialized-view hook is set, the deltas are first
+        folded into new versions of the affected view backings
+        (acquiring each view's writer lock), and those versions join the
+        same swap.  The WAL still records only the base-table deltas:
+        recovery re-derives view contents, so a crash anywhere in here
+        can never persist a view inconsistent with its base.
         """
         keys = {name.lower(): table for name, table in tables.items()}
         with self._lock:
             for key in keys:
                 if key not in self._tables:
                     raise ExecutionError(f"no storage for table {key!r}")
-        if self.wal is not None and changes:
-            self.wal.log_commit(changes)
-        faultinject.hit("snapshot.install")
-        with self._lock:
-            for key in keys:
-                if key not in self._tables:
-                    raise ExecutionError(f"no storage for table {key!r}")
-            for key, table in keys.items():
-                self._tables[key] = table
-            self.data_version += 1
+        maintenance = None
+        if self.matviews is not None and changes:
+            maintenance = self.matviews.prepare_commit(keys, changes)
+        try:
+            if maintenance is not None:
+                keys.update(maintenance.versions)
+            if self.wal is not None and changes:
+                self.wal.log_commit(changes)
+            faultinject.hit("snapshot.install")
+            with self._lock:
+                for key in keys:
+                    if key not in self._tables:
+                        raise ExecutionError(
+                            f"no storage for table {key!r}")
+                for key, table in keys.items():
+                    self._tables[key] = table
+                self.data_version += 1
+        finally:
+            if maintenance is not None:
+                maintenance.release()
 
     def apply_insert(self, name: str,
                      rows: Iterable[Sequence[Any] | Mapping[str, Any]]

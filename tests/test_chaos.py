@@ -76,7 +76,7 @@ class TestSiteRegistry:
             "executor.naive", "analyzer.check", "admission.enqueue",
             "snapshot.install", "wire.decode", "feedback.record",
             "wal.append", "wal.fsync", "wal.checkpoint",
-            "recovery.replay"}
+            "recovery.replay", "matview.refresh"}
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError):

@@ -223,12 +223,31 @@ class TestFeedbackChaos:
 # -- unified explain API -------------------------------------------------------
 
 
+def _reset_positional_warning():
+    """The positional-costs deprecation warns once per process; reset
+    the latch so each test observes a fresh first use."""
+    import repro.database as _database
+    _database._positional_costs_warned = False
+
+
 class TestExplainApi:
     def test_positional_costs_deprecated(self):
         db = skewed_db()
+        _reset_positional_warning()
         with pytest.warns(DeprecationWarning):
             rendered = db.explain(SKEW_SQL, FULL, True)
         assert "-- estimates --" in rendered
+
+    def test_positional_costs_warns_once_per_process(self):
+        db = skewed_db()
+        _reset_positional_warning()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                db.explain(SKEW_SQL, FULL, True)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
 
     def test_keyword_costs_does_not_warn(self):
         db = skewed_db()
@@ -261,6 +280,7 @@ class TestExplainApi:
     def test_prepared_explain_unified(self):
         db = skewed_db()
         prepared = db.prepare(SKEW_SQL)
+        _reset_positional_warning()
         with pytest.warns(DeprecationWarning):
             prepared.explain(True)
         analyzed = prepared.explain(analyze=True)

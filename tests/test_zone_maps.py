@@ -217,3 +217,41 @@ def test_pruning_is_invisible_to_results(engine):
         ("select count(*) from t where t.b is not null", [(8,)]),
     ]:
         assert db.execute(sql, FULL, engine=engine).rows == expected
+
+
+class TestChunksSkippedCounter:
+    """`EXPLAIN ANALYZE` surfaces zone-map pruning per scan node."""
+
+    def scan_node(self, tree):
+        if tree["op"].startswith("TableScan"):
+            return tree
+        for child in tree["children"]:
+            found = self.scan_node(child)
+            if found is not None:
+                return found
+        return None
+
+    def test_pruned_scan_reports_chunks_skipped(self):
+        db = make_db(chunk_rows=2)  # 8 rows -> 4 chunks
+        payload = db.explain("select t.a from t where t.a >= 6", FULL,
+                             analyze=True, format="dict",
+                             engine="vectorized")
+        scan = self.scan_node(payload["plan"])
+        assert scan is not None
+        assert scan["chunks_skipped"] == 3
+        # Skipped rows are still charged to the scan's actual count.
+        assert scan["actual_rows"] == 8
+        rendered = db.explain("select t.a from t where t.a >= 6", FULL,
+                              analyze=True, engine="vectorized")
+        assert "skipped=3" in rendered
+
+    def test_unpruned_scan_keeps_frozen_key_set(self):
+        db = make_db(chunk_rows=2)
+        payload = db.explain("select t.a from t where t.b >= 0", FULL,
+                             analyze=True, format="dict",
+                             engine="vectorized")
+        scan = self.scan_node(payload["plan"])
+        assert scan is not None
+        # No pruning: the wire-frozen key set must be exactly intact.
+        assert set(scan.keys()) == {"op", "estimated_rows", "actual_rows",
+                                    "q_error", "children"}
